@@ -1,0 +1,34 @@
+//! Criterion version of Figure 13: mining time of TGMiner vs. the five baselines.
+//!
+//! Runs at tiny scale so `cargo bench` finishes quickly; the experiment binary
+//! `fig13_response_time` produces the full table at larger scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use syscall::{Behavior, DatasetConfig, TrainingData};
+use tgminer::score::LogRatio;
+use tgminer::{mine, MinerVariant};
+
+fn bench_miners(c: &mut Criterion) {
+    let training = TrainingData::generate(&DatasetConfig::tiny());
+    let behaviors = [Behavior::GzipDecompress, Behavior::ScpDownload];
+    let mut group = c.benchmark_group("fig13_miners");
+    group.sample_size(10);
+    for behavior in behaviors {
+        let positives = training.positives(behavior);
+        let negatives = training.negatives();
+        for variant in MinerVariant::all() {
+            group.bench_with_input(
+                BenchmarkId::new(variant.name(), behavior.name()),
+                &variant,
+                |b, &variant| {
+                    let config = variant.config(4);
+                    b.iter(|| mine(positives, negatives, &LogRatio::default(), &config));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_miners);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion version of Figure 14: TGMiner mining time vs. the maximum pattern size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use syscall::{Behavior, DatasetConfig, TrainingData};
+use tgminer::score::LogRatio;
+use tgminer::{mine, MinerVariant};
+
+fn bench_pattern_size(c: &mut Criterion) {
+    let training = TrainingData::generate(&DatasetConfig::tiny());
+    let positives = training.positives(Behavior::ScpDownload);
+    let negatives = training.negatives();
+    let mut group = c.benchmark_group("fig14_pattern_size");
+    group.sample_size(10);
+    for max_edges in [2usize, 3, 4, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(max_edges), &max_edges, |b, &size| {
+            let config = MinerVariant::TgMiner.config(size);
+            b.iter(|| mine(positives, negatives, &LogRatio::default(), &config));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pattern_size);
+criterion_main!(benches);

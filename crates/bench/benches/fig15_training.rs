@@ -1,0 +1,34 @@
+//! Criterion version of Figure 15: TGMiner mining time vs. the amount of training data.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use syscall::{Behavior, DatasetConfig, TrainingData};
+use tgminer::score::LogRatio;
+use tgminer::{mine, MinerVariant};
+
+fn bench_training_amount(c: &mut Criterion) {
+    let training = TrainingData::generate(&DatasetConfig::tiny());
+    let mut group = c.benchmark_group("fig15_training_amount");
+    group.sample_size(10);
+    for fraction in [0.25f64, 0.5, 1.0] {
+        let subset = training.subsample(fraction);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{fraction:.2}")),
+            &fraction,
+            |b, _| {
+                let config = MinerVariant::TgMiner.config(4);
+                b.iter(|| {
+                    mine(
+                        subset.positives(Behavior::WgetDownload),
+                        subset.negatives(),
+                        &LogRatio::default(),
+                        &config,
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_amount);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion version of Figure 16 (Appendix N): TGMiner mining time on SYN-k datasets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use syscall::{Behavior, DatasetConfig, TrainingData};
+use tgminer::score::LogRatio;
+use tgminer::{mine, MinerVariant};
+
+fn bench_syn(c: &mut Criterion) {
+    let training = TrainingData::generate(&DatasetConfig::tiny());
+    let mut group = c.benchmark_group("fig16_syn");
+    group.sample_size(10);
+    for k in [1usize, 2, 4] {
+        let synthetic = training.replicate(k);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("SYN-{k}")), &k, |b, _| {
+            let config = MinerVariant::TgMiner.config(4);
+            b.iter(|| {
+                mine(
+                    synthetic.positives(Behavior::GzipDecompress),
+                    synthetic.negatives(),
+                    &LogRatio::default(),
+                    &config,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_syn);
+criterion_main!(benches);

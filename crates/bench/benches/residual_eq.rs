@@ -1,0 +1,47 @@
+//! Micro-benchmark: residual-graph-set equivalence via the integer signature (Lemma 6)
+//! vs. the explicit linear scan used by the `LinearScan` baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tgraph::generator::{random_pattern, random_t_connected_graph, RandomGraphSpec};
+use tgraph::matching::find_embeddings;
+use tgraph::residual::ResidualSet;
+
+fn bench_residual_equivalence(c: &mut Criterion) {
+    let graphs: Vec<_> = (0..32)
+        .map(|seed| {
+            random_t_connected_graph(
+                seed,
+                RandomGraphSpec { nodes: 30, edges: 120, label_alphabet: 6 },
+            )
+        })
+        .collect();
+    let pattern_a = random_pattern(1, 3, 6);
+    let pattern_b = random_pattern(2, 3, 6);
+    let set_of = |pattern: &tgraph::TemporalPattern| {
+        let per_graph: Vec<(usize, Vec<_>)> = graphs
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (i, find_embeddings(pattern, g, 200)))
+            .collect();
+        ResidualSet::from_embeddings(per_graph.iter().map(|(i, e)| (*i, e.as_slice())))
+    };
+    let set_a = set_of(&pattern_a);
+    let set_b = set_of(&pattern_b);
+    let sig_a = set_a.signature(&graphs);
+    let sig_b = set_b.signature(&graphs);
+
+    let mut group = c.benchmark_group("residual_equivalence");
+    group.bench_function("signature_compare", |b| {
+        b.iter(|| std::hint::black_box(sig_a == sig_b))
+    });
+    group.bench_function("linear_scan_compare", |b| {
+        b.iter(|| std::hint::black_box(set_a.linear_scan_equal(&set_b, &graphs)))
+    });
+    group.bench_function("signature_recompute", |b| {
+        b.iter(|| std::hint::black_box(set_a.signature(&graphs)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_residual_equivalence);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Micro-benchmark: the three temporal subgraph test algorithms (Section 4.3).
+//!
+//! The sequence-based test is the component that makes TGMiner faster than `PruneVF2`
+//! and `PruneGI`; this benchmark isolates that comparison on random pattern pairs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tgraph::generator::random_pattern_pair;
+use tgraph::gindex::gindex_temporal_subgraph;
+use tgraph::seqtest::is_temporal_subgraph;
+use tgraph::vf2::vf2_temporal_subgraph;
+
+fn bench_subgraph_tests(c: &mut Criterion) {
+    let pairs: Vec<_> = (0..64).map(|seed| random_pattern_pair(seed, 5, 10, 6)).collect();
+    let mut group = c.benchmark_group("subgraph_test");
+    for (name, run) in [
+        ("sequence", (|a, b| is_temporal_subgraph(a, b)) as fn(&_, &_) -> bool),
+        ("vf2", |a, b| vf2_temporal_subgraph(a, b)),
+        ("graph_index", |a, b| gindex_temporal_subgraph(a, b)),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, "64 positive pairs"), &pairs, |b, pairs| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for (small, big) in pairs {
+                    if run(small, big) {
+                        hits += 1;
+                    }
+                }
+                hits
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_subgraph_tests);
+criterion_main!(benches);

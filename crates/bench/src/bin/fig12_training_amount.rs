@@ -1,0 +1,44 @@
+//! Figure 12: average precision / recall of TGMiner behavior queries as the amount of
+//! used training data varies from 1% to 100% (query size fixed at 6).
+
+use bench::{pct, print_header, print_row, test_data, training_data, Scale};
+use query::{formulate_and_evaluate, QueryOptions};
+use syscall::Behavior;
+
+fn main() {
+    let scale = Scale::from_env();
+    let training = training_data(scale);
+    let test = test_data(scale, &training);
+    let behaviors: Vec<Behavior> = match scale {
+        Scale::Paper => Behavior::all().to_vec(),
+        _ => vec![
+            Behavior::Bzip2Decompress,
+            Behavior::WgetDownload,
+            Behavior::ScpDownload,
+            Behavior::SshdLogin,
+        ],
+    };
+    let fractions = [0.01, 0.2, 0.4, 0.6, 0.8, 1.0];
+    let options = QueryOptions::default();
+
+    let widths = [14, 12, 12];
+    println!("Figure 12: query accuracy vs. amount of used training data (scale: {})", scale.name());
+    print_header(&["fraction", "precision", "recall"], &widths);
+    for &fraction in &fractions {
+        let subset = training.subsample(fraction);
+        let mut precision = 0.0;
+        let mut recall = 0.0;
+        for &behavior in &behaviors {
+            let acc = formulate_and_evaluate(&subset, &test, behavior, &options);
+            precision += acc.tgminer.precision();
+            recall += acc.tgminer.recall();
+        }
+        let n = behaviors.len() as f64;
+        print_row(
+            &[format!("{fraction:.2}"), pct(precision / n), pct(recall / n)],
+            &widths,
+        );
+    }
+    println!("\nPaper reference: precision grows from ~91% (1% of data) to ~97% (all data),");
+    println!("with diminishing returns as more training data is used.");
+}

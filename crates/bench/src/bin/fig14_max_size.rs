@@ -1,0 +1,45 @@
+//! Figure 14: TGMiner response time as the size of the largest patterns allowed to be
+//! explored grows.
+
+use bench::{efficiency_behaviors, print_header, print_row, secs, training_data, Scale};
+use std::time::Duration;
+use tgminer::score::LogRatio;
+use tgminer::{mine, MinerVariant};
+
+fn main() {
+    let scale = Scale::from_env();
+    let training = training_data(scale);
+    let sizes: Vec<usize> = match scale {
+        Scale::Paper => vec![5, 15, 25, 35, 45],
+        Scale::Small => vec![2, 4, 6, 8, 10],
+        Scale::Tiny => vec![2, 3, 4, 5],
+    };
+
+    let widths = [10usize, 12, 12, 12];
+    println!(
+        "Figure 14: TGMiner response time (seconds) vs. maximum pattern size (scale: {})",
+        scale.name()
+    );
+    print_header(&["max size", "small", "medium", "large"], &widths);
+    for &size in &sizes {
+        let mut cells = vec![size.to_string()];
+        for (_, behaviors) in efficiency_behaviors(scale) {
+            let mut total = Duration::ZERO;
+            for &behavior in &behaviors {
+                eprintln!("[fig14] size {size} / {}", behavior.name());
+                let config = MinerVariant::TgMiner.config(size);
+                let result = mine(
+                    training.positives(behavior),
+                    training.negatives(),
+                    &LogRatio::default(),
+                    &config,
+                );
+                total += result.stats.elapsed;
+            }
+            cells.push(secs(total));
+        }
+        print_row(&cells, &widths);
+    }
+    println!("\nPaper reference: response time grows with the size cap; with a cap of 5,");
+    println!("all behaviors finish within 10 seconds; 6-edge mining finishes within a minute.");
+}

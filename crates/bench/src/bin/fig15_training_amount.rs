@@ -1,0 +1,42 @@
+//! Figure 15: TGMiner response time as the amount of used training data varies from
+//! 1% to 100%.
+
+use bench::{efficiency_behaviors, print_header, print_row, secs, training_data, Scale};
+use std::time::Duration;
+use tgminer::score::LogRatio;
+use tgminer::{mine, MinerVariant};
+
+fn main() {
+    let scale = Scale::from_env();
+    let training = training_data(scale);
+    let max_edges = if scale == Scale::Tiny { 4 } else { 6 };
+    let fractions = [0.01, 0.2, 0.4, 0.6, 0.8, 1.0];
+
+    let widths = [10usize, 12, 12, 12];
+    println!(
+        "Figure 15: TGMiner response time (seconds) vs. amount of used training data (scale: {})",
+        scale.name()
+    );
+    print_header(&["fraction", "small", "medium", "large"], &widths);
+    for &fraction in &fractions {
+        let subset = training.subsample(fraction);
+        let mut cells = vec![format!("{fraction:.2}")];
+        for (_, behaviors) in efficiency_behaviors(scale) {
+            let mut total = Duration::ZERO;
+            for &behavior in &behaviors {
+                eprintln!("[fig15] fraction {fraction} / {}", behavior.name());
+                let config = MinerVariant::TgMiner.config(max_edges);
+                let result = mine(
+                    subset.positives(behavior),
+                    subset.negatives(),
+                    &LogRatio::default(),
+                    &config,
+                );
+                total += result.stats.elapsed;
+            }
+            cells.push(secs(total));
+        }
+        print_row(&cells, &widths);
+    }
+    println!("\nPaper reference: response time grows roughly linearly with the amount of training data.");
+}

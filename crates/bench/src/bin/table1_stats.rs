@@ -1,0 +1,28 @@
+//! Table 1: statistics of the (synthetic) training data.
+//!
+//! Prints, per behavior and for the background set: average nodes, average edges, total
+//! distinct labels, and the number of graphs — the same columns the paper reports.
+
+use bench::{print_header, print_row, training_data, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let data = training_data(scale);
+    let widths = [20, 12, 12, 14, 8];
+    println!("Table 1: statistics of training data (scale: {})", scale.name());
+    print_header(&["behavior", "avg #nodes", "avg #edges", "total #labels", "graphs"], &widths);
+    for row in data.stats() {
+        print_row(
+            &[
+                row.name.clone(),
+                format!("{:.1}", row.avg_nodes),
+                format!("{:.1}", row.avg_edges),
+                row.total_labels.to_string(),
+                row.graphs.to_string(),
+            ],
+            &widths,
+        );
+    }
+    let (nodes, edges) = data.totals();
+    println!("\nTotal: {nodes} nodes, {edges} edges across the whole training set");
+}

@@ -1,0 +1,64 @@
+//! Table 2: query accuracy (precision / recall) of NodeSet, Ntemp, and TGMiner on the
+//! 12 behaviors, with query size fixed at 6 and all training data used.
+
+use bench::{pct, print_header, print_row, test_data, training_data, Scale};
+use query::{formulate_and_evaluate, QueryOptions};
+use syscall::Behavior;
+
+fn main() {
+    let scale = Scale::from_env();
+    let training = training_data(scale);
+    let test = test_data(scale, &training);
+    let options = QueryOptions::default();
+
+    let widths = [20, 9, 9, 9, 9, 9, 9];
+    println!("Table 2: query accuracy on different behaviors (scale: {})", scale.name());
+    print_header(
+        &["behavior", "P:NodeSet", "P:Ntemp", "P:TGMiner", "R:NodeSet", "R:Ntemp", "R:TGMiner"],
+        &widths,
+    );
+    let mut sums = [0.0f64; 6];
+    let mut rows = 0usize;
+    for behavior in Behavior::all() {
+        eprintln!("[table2] evaluating {}...", behavior.name());
+        let acc = formulate_and_evaluate(&training, &test, behavior, &options);
+        let cells = [
+            acc.nodeset.precision(),
+            acc.ntemp.precision(),
+            acc.tgminer.precision(),
+            acc.nodeset.recall(),
+            acc.ntemp.recall(),
+            acc.tgminer.recall(),
+        ];
+        for (sum, value) in sums.iter_mut().zip(cells) {
+            *sum += value;
+        }
+        rows += 1;
+        print_row(
+            &[
+                behavior.name().to_string(),
+                pct(cells[0]),
+                pct(cells[1]),
+                pct(cells[2]),
+                pct(cells[3]),
+                pct(cells[4]),
+                pct(cells[5]),
+            ],
+            &widths,
+        );
+    }
+    let avg: Vec<String> = sums.iter().map(|s| pct(s / rows as f64)).collect();
+    print_row(
+        &[
+            "Average".to_string(),
+            avg[0].clone(),
+            avg[1].clone(),
+            avg[2].clone(),
+            avg[3].clone(),
+            avg[4].clone(),
+            avg[5].clone(),
+        ],
+        &widths,
+    );
+    println!("\nPaper reference (averages): precision 68.5 / 83.2 / 97.4, recall 78.4 / 91.9 / 91.1");
+}

@@ -1,0 +1,71 @@
+//! Table 3: empirical probabilities that the subgraph / supergraph pruning conditions
+//! trigger while TGMiner processes a pattern, per behavior size class.
+
+use bench::{efficiency_behaviors, pct, print_header, print_row, training_data, Scale};
+use tgminer::score::LogRatio;
+use tgminer::{mine, MinerVariant, MiningStats};
+
+fn main() {
+    let scale = Scale::from_env();
+    let training = training_data(scale);
+    let max_edges = match scale {
+        Scale::Paper => 8,
+        Scale::Small => 6,
+        Scale::Tiny => 4,
+    };
+
+    let widths = [22usize, 10, 10, 10];
+    println!(
+        "Table 3: pruning trigger probabilities per pattern processed (max size {max_edges}, scale: {})",
+        scale.name()
+    );
+    print_header(&["condition", "small", "medium", "large"], &widths);
+
+    let mut per_class: Vec<MiningStats> = Vec::new();
+    for (_, behaviors) in efficiency_behaviors(scale) {
+        let mut stats = MiningStats::default();
+        for behavior in behaviors {
+            eprintln!("[table3] {}", behavior.name());
+            let config = MinerVariant::TgMiner.config(max_edges);
+            let result = mine(
+                training.positives(behavior),
+                training.negatives(),
+                &LogRatio::default(),
+                &config,
+            );
+            stats.merge(&result.stats);
+        }
+        per_class.push(stats);
+    }
+
+    print_row(
+        &std::iter::once("Subgraph pruning".to_string())
+            .chain(per_class.iter().map(|s| pct(s.subgraph_prune_rate())))
+            .collect::<Vec<_>>(),
+        &widths,
+    );
+    print_row(
+        &std::iter::once("Supergraph pruning".to_string())
+            .chain(per_class.iter().map(|s| pct(s.supergraph_prune_rate())))
+            .collect::<Vec<_>>(),
+        &widths,
+    );
+    print_row(
+        &std::iter::once("Upper-bound pruning".to_string())
+            .chain(per_class.iter().map(|s| pct(s.upper_bound_prune_rate())))
+            .collect::<Vec<_>>(),
+        &widths,
+    );
+    println!("\nWork counters (subgraph tests / residual equivalence tests):");
+    for ((class, _), stats) in efficiency_behaviors(scale).iter().zip(&per_class) {
+        println!(
+            "  {:>7}: {} subgraph tests, {} residual tests, {} patterns processed",
+            class.name(),
+            stats.subgraph_tests,
+            stats.residual_equiv_tests,
+            stats.patterns_processed
+        );
+    }
+    println!("\nPaper reference: subgraph pruning triggers on 62-72% of processed patterns,");
+    println!("supergraph pruning on 1-8%; subgraph pruning provides most of the pruning power.");
+}

@@ -1,0 +1,23 @@
+//! # query — behavior query formulation, search, and accuracy evaluation
+//!
+//! The last stage of the paper's pipeline (Figure 2): take the discriminative patterns
+//! mined by `tgminer`, turn them into *behavior queries*, run them against a monitoring
+//! graph (the `syscall` test data), and measure precision/recall against ground truth —
+//! exactly what the accuracy evaluation of Section 6.2 (Table 2, Figures 11–12) does.
+//!
+//! * [`pipeline`] — end-to-end query formulation and evaluation for one behavior, for
+//!   TGMiner and for the two accuracy baselines (`Ntemp`, `NodeSet`).
+//! * [`search`] — windowed search of temporal, non-temporal, and keyword queries over a
+//!   large temporal graph.
+//! * [`eval`] — precision / recall / F1 definitions of Section 6.2.
+
+pub mod eval;
+pub mod pipeline;
+pub mod search;
+
+pub use eval::{evaluate, merge_identified, AccuracyReport};
+pub use pipeline::{
+    evaluate_queries, formulate_and_evaluate, formulate_queries, BehaviorAccuracy,
+    BehaviorQueries, QueryOptions,
+};
+pub use search::{search_nodeset, search_static, search_temporal, Interval};

@@ -1,0 +1,397 @@
+//! Searching behavior queries over a large monitoring graph.
+//!
+//! Behavior query processing itself is not the paper's contribution (it defers to
+//! existing subgraph-matching systems); this module provides the straightforward
+//! windowed search needed to evaluate query accuracy: every match must fit inside a time
+//! window no longer than the longest observed lifetime of the target behavior
+//! (Section 6.1). Three query types are supported, matching the three compared systems:
+//!
+//! * temporal graph patterns (TGMiner) — edge order must be respected;
+//! * non-temporal patterns (`Ntemp`) — same structure, order ignored;
+//! * keyword label sets (`NodeSet`) — any co-occurrence of the labels within the window.
+//!
+//! Every search returns *identified instances* as `(start_ts, end_ts)` intervals.
+
+use std::collections::HashMap;
+use tgminer::baselines::gspan::StaticPattern;
+use tgminer::baselines::nodeset::NodeSetQuery;
+use tgraph::pattern::TemporalPattern;
+use tgraph::{Label, TemporalGraph};
+
+/// An identified instance: the closed timestamp interval during which the match happened.
+pub type Interval = (u64, u64);
+
+/// Searches a temporal pattern in `graph`: every match must start at an edge matching
+/// the pattern's first edge and complete within `window` timestamp units. At most one
+/// identified instance is reported per seed edge.
+pub fn search_temporal(
+    graph: &TemporalGraph,
+    pattern: &TemporalPattern,
+    window: u64,
+) -> Vec<Interval> {
+    if pattern.edge_count() == 0 {
+        return Vec::new();
+    }
+    let first = pattern.edges()[0];
+    let want_src = pattern.label(first.src);
+    let want_dst = pattern.label(first.dst);
+    let mut out = Vec::new();
+    for (idx, edge) in graph.edges().iter().enumerate() {
+        if graph.label(edge.src) != want_src || graph.label(edge.dst) != want_dst {
+            continue;
+        }
+        if first.src == first.dst && edge.src != edge.dst {
+            continue;
+        }
+        if first.src != first.dst && edge.src == edge.dst {
+            continue;
+        }
+        let deadline = edge.ts.saturating_add(window.saturating_sub(1));
+        let mut node_map = vec![usize::MAX; pattern.node_count()];
+        node_map[first.src] = edge.src;
+        node_map[first.dst] = edge.dst;
+        if let Some(end_ts) = complete_temporal(graph, pattern, 1, idx + 1, deadline, &mut node_map)
+        {
+            out.push((edge.ts, end_ts.max(edge.ts)));
+        }
+    }
+    out
+}
+
+/// Completes a temporal match from pattern edge `p_idx` onward, scanning data edges from
+/// `from` while their timestamps stay within `deadline`. Returns the timestamp of the
+/// last matched edge of the first completion found.
+fn complete_temporal(
+    graph: &TemporalGraph,
+    pattern: &TemporalPattern,
+    p_idx: usize,
+    from: usize,
+    deadline: u64,
+    node_map: &mut Vec<usize>,
+) -> Option<u64> {
+    if p_idx == pattern.edge_count() {
+        return Some(0); // caller maxes with the seed timestamp
+    }
+    let p_edge = pattern.edges()[p_idx];
+    let want_src = pattern.label(p_edge.src);
+    let want_dst = pattern.label(p_edge.dst);
+    for idx in from..graph.edge_count() {
+        let edge = graph.edge(idx);
+        if edge.ts > deadline {
+            return None;
+        }
+        if graph.label(edge.src) != want_src || graph.label(edge.dst) != want_dst {
+            continue;
+        }
+        // Source endpoint consistency (injective mapping).
+        let src_bound = node_map[p_edge.src] != usize::MAX;
+        if src_bound {
+            if node_map[p_edge.src] != edge.src {
+                continue;
+            }
+        } else if node_map.contains(&edge.src) {
+            continue;
+        }
+        let dst_bound = node_map[p_edge.dst] != usize::MAX || p_edge.src == p_edge.dst;
+        let expected_dst =
+            if p_edge.src == p_edge.dst { edge.src } else { node_map[p_edge.dst] };
+        if dst_bound {
+            if expected_dst != edge.dst {
+                continue;
+            }
+        } else if node_map.contains(&edge.dst) || edge.dst == edge.src {
+            continue;
+        }
+        if !src_bound {
+            node_map[p_edge.src] = edge.src;
+        }
+        if !dst_bound {
+            node_map[p_edge.dst] = edge.dst;
+        }
+        let result = complete_temporal(graph, pattern, p_idx + 1, idx + 1, deadline, node_map);
+        if let Some(end) = result {
+            return Some(end.max(edge.ts));
+        }
+        if !dst_bound {
+            node_map[p_edge.dst] = usize::MAX;
+        }
+        if !src_bound {
+            node_map[p_edge.src] = usize::MAX;
+        }
+    }
+    None
+}
+
+/// Searches a non-temporal pattern: the match is anchored at an edge matching the
+/// pattern's first edge; all other pattern edges may match any edge (in any order) whose
+/// timestamp lies within `window` of the anchor, as long as the whole match spans at most
+/// `window` timestamp units.
+pub fn search_static(graph: &TemporalGraph, pattern: &StaticPattern, window: u64) -> Vec<Interval> {
+    if pattern.edges.is_empty() {
+        return Vec::new();
+    }
+    let (p_src, p_dst) = pattern.edges[0];
+    let want_src = pattern.labels[p_src];
+    let want_dst = pattern.labels[p_dst];
+    let mut out = Vec::new();
+    for (idx, edge) in graph.edges().iter().enumerate() {
+        if graph.label(edge.src) != want_src || graph.label(edge.dst) != want_dst {
+            continue;
+        }
+        // The remaining pattern edges may precede or follow the anchor, as long as the
+        // full match fits into a `window`-long interval containing the anchor.
+        let earliest = edge.ts.saturating_sub(window.saturating_sub(1));
+        let deadline = edge.ts.saturating_add(window.saturating_sub(1));
+        let start = graph
+            .edges()
+            .partition_point(|e| e.ts < earliest);
+        let end = graph.edges()[idx..]
+            .iter()
+            .position(|e| e.ts > deadline)
+            .map(|offset| idx + offset)
+            .unwrap_or_else(|| graph.edge_count());
+        let mut node_map = vec![usize::MAX; pattern.labels.len()];
+        node_map[p_src] = edge.src;
+        if p_dst != p_src {
+            node_map[p_dst] = edge.dst;
+        }
+        if let Some((min_ts, max_ts)) =
+            complete_static(graph, pattern, 1, start, end, &mut node_map, edge.ts, edge.ts, window)
+        {
+            out.push((min_ts, max_ts));
+        }
+    }
+    out
+}
+
+/// Completes a static (order-free) match over window edge indices `[window_start, window_end)`,
+/// returning the `(min, max)` timestamps of the matched edges. The match is rejected if
+/// its span exceeds `window`.
+#[allow(clippy::too_many_arguments)]
+fn complete_static(
+    graph: &TemporalGraph,
+    pattern: &StaticPattern,
+    p_idx: usize,
+    window_start: usize,
+    window_end: usize,
+    node_map: &mut Vec<usize>,
+    min_ts: u64,
+    max_ts: u64,
+    window: u64,
+) -> Option<(u64, u64)> {
+    if p_idx == pattern.edges.len() {
+        if max_ts - min_ts < window {
+            return Some((min_ts, max_ts));
+        }
+        return None;
+    }
+    let (p_src, p_dst) = pattern.edges[p_idx];
+    let want_src = pattern.labels[p_src];
+    let want_dst = pattern.labels[p_dst];
+    for idx in window_start..window_end {
+        let edge = graph.edge(idx);
+        if graph.label(edge.src) != want_src || graph.label(edge.dst) != want_dst {
+            continue;
+        }
+        let src_bound = node_map[p_src] != usize::MAX;
+        if src_bound {
+            if node_map[p_src] != edge.src {
+                continue;
+            }
+        } else if node_map.contains(&edge.src) {
+            continue;
+        }
+        let dst_bound = node_map[p_dst] != usize::MAX || p_src == p_dst;
+        let expected_dst = if p_src == p_dst { edge.src } else { node_map[p_dst] };
+        if dst_bound {
+            if expected_dst != edge.dst {
+                continue;
+            }
+        } else if node_map.contains(&edge.dst) || edge.dst == edge.src {
+            continue;
+        }
+        if !src_bound {
+            node_map[p_src] = edge.src;
+        }
+        if !dst_bound {
+            node_map[p_dst] = edge.dst;
+        }
+        let result = complete_static(
+            graph,
+            pattern,
+            p_idx + 1,
+            window_start,
+            window_end,
+            node_map,
+            min_ts.min(edge.ts),
+            max_ts.max(edge.ts),
+            window,
+        );
+        if result.is_some() {
+            return result;
+        }
+        if !dst_bound {
+            node_map[p_dst] = usize::MAX;
+        }
+        if !src_bound {
+            node_map[p_src] = usize::MAX;
+        }
+    }
+    None
+}
+
+/// Searches a keyword (`NodeSet`) query: a match is a set of nodes carrying exactly the
+/// query's label multiset whose appearances span at most `window` timestamp units.
+/// Matches are anchored at every edge that touches any of the query's labels (the
+/// anchor is the earliest appearance of the match).
+pub fn search_nodeset(graph: &TemporalGraph, query: &NodeSetQuery, window: u64) -> Vec<Interval> {
+    if query.labels.is_empty() {
+        return Vec::new();
+    }
+    let mut needed: HashMap<Label, usize> = HashMap::new();
+    for &label in &query.labels {
+        *needed.entry(label).or_insert(0) += 1;
+    }
+    let mut out = Vec::new();
+    for (idx, edge) in graph.edges().iter().enumerate() {
+        let anchor_hit = needed.contains_key(&graph.label(edge.src))
+            || needed.contains_key(&graph.label(edge.dst));
+        if !anchor_hit {
+            continue;
+        }
+        let deadline = edge.ts.saturating_add(window.saturating_sub(1));
+        let mut remaining = needed.clone();
+        let mut seen_nodes: Vec<usize> = Vec::new();
+        'scan: for later in graph.edges()[idx..].iter() {
+            if later.ts > deadline {
+                break;
+            }
+            for node in [later.src, later.dst] {
+                if seen_nodes.contains(&node) {
+                    continue;
+                }
+                let label = graph.label(node);
+                if let Some(count) = remaining.get_mut(&label) {
+                    if *count > 0 {
+                        *count -= 1;
+                        seen_nodes.push(node);
+                        if remaining.values().all(|&c| c == 0) {
+                            out.push((edge.ts, later.ts));
+                            break 'scan;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgraph::GraphBuilder;
+
+    fn l(i: u32) -> Label {
+        Label(i)
+    }
+
+    /// Test graph: an A->B->C chain at ts 1..2, noise, then a reversed occurrence
+    /// (B->C at ts 10, A->B at ts 11), then another A->B->C chain far away (ts 20..21).
+    fn graph() -> TemporalGraph {
+        let mut b = GraphBuilder::new();
+        let a1 = b.add_node(l(0));
+        let b1 = b.add_node(l(1));
+        let c1 = b.add_node(l(2));
+        let noise = b.add_node(l(9));
+        let a2 = b.add_node(l(0));
+        let b2 = b.add_node(l(1));
+        let c2 = b.add_node(l(2));
+        let a3 = b.add_node(l(0));
+        let b3 = b.add_node(l(1));
+        let c3 = b.add_node(l(2));
+        b.add_edge(a1, b1, 1).unwrap();
+        b.add_edge(b1, c1, 2).unwrap();
+        b.add_edge(noise, noise, 5).unwrap();
+        b.add_edge(b2, c2, 10).unwrap();
+        b.add_edge(a2, b2, 11).unwrap();
+        b.add_edge(a3, b3, 20).unwrap();
+        b.add_edge(b3, c3, 21).unwrap();
+        b.build()
+    }
+
+    fn abc_pattern() -> TemporalPattern {
+        TemporalPattern::single_edge(l(0), l(1)).grow_forward(1, l(2)).unwrap()
+    }
+
+    #[test]
+    fn temporal_search_respects_order_and_window() {
+        let g = graph();
+        let hits = search_temporal(&g, &abc_pattern(), 5);
+        // Matches at ts 1-2 and ts 20-21; the reversed occurrence at 10-11 must not match.
+        assert_eq!(hits, vec![(1, 2), (20, 21)]);
+        // A window of 1 is too short for the two-edge pattern.
+        let hits = search_temporal(&g, &abc_pattern(), 1);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn temporal_search_does_not_cross_the_window() {
+        let g = graph();
+        // Pattern A->B then B->C with a huge window would also pair edge 11 with edge 21
+        // (different B nodes? no: nodes differ, so it cannot). Check a window large
+        // enough to span unrelated segments still yields only genuine matches.
+        let hits = search_temporal(&g, &abc_pattern(), 100);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn static_search_ignores_order() {
+        let g = graph();
+        let pattern = StaticPattern {
+            labels: vec![l(0), l(1), l(2)],
+            edges: vec![(0, 1), (1, 2)],
+        };
+        let hits = search_static(&g, &pattern, 5);
+        // The reversed occurrence is anchored at its A->B edge (ts 11), but B->C (ts 10)
+        // is before the anchor, so with this small window the only extra hit would need
+        // both edges inside [anchor, anchor+window). The genuine chains match.
+        assert!(hits.contains(&(1, 2)));
+        assert!(hits.contains(&(20, 21)));
+        // With the anchor at ts 11 the B->C edge at ts 10 is outside the window, so the
+        // reversed occurrence is found only through a wider anchor choice; what matters
+        // for the evaluation is that the *temporal* search can never match it.
+    }
+
+    #[test]
+    fn nodeset_search_matches_any_cooccurrence() {
+        let g = graph();
+        let query = NodeSetQuery { labels: vec![l(0), l(1), l(2)] };
+        let hits = search_nodeset(&g, &query, 5);
+        // The forward and reversed segments both contain the three labels close together;
+        // matches are anchored at appearances of the first query label, so at least the
+        // two A->B->C chains are found, and order is irrelevant to the keyword query.
+        assert!(hits.len() >= 2);
+        assert!(hits.contains(&(1, 2)));
+        assert!(hits.contains(&(20, 21)));
+        let query_missing = NodeSetQuery { labels: vec![l(0), l(7)] };
+        assert!(search_nodeset(&g, &query_missing, 5).is_empty());
+    }
+
+    #[test]
+    fn empty_queries_yield_no_matches() {
+        let g = graph();
+        let empty_nodeset = NodeSetQuery { labels: vec![] };
+        assert!(search_nodeset(&g, &empty_nodeset, 5).is_empty());
+        let empty_static = StaticPattern { labels: vec![], edges: vec![] };
+        assert!(search_static(&g, &empty_static, 5).is_empty());
+    }
+
+    #[test]
+    fn self_loop_patterns_are_searchable() {
+        let g = graph();
+        let loop_pattern = TemporalPattern::single_self_loop(l(9));
+        let hits = search_temporal(&g, &loop_pattern, 5);
+        assert_eq!(hits, vec![(5, 5)]);
+    }
+}

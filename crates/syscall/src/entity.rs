@@ -1,0 +1,100 @@
+//! System entities appearing in syscall logs.
+//!
+//! Syscall monitoring records interactions between *system entities*: processes, files,
+//! sockets, and pipes (Section 1). An entity's node label in the temporal graph is its
+//! kind plus its name — e.g. `proc:sshd`, `file:/etc/passwd`, `socket:10.0.0.2:22` —
+//! matching how the paper's patterns are drawn (Figure 10).
+
+use std::fmt;
+
+/// The kind of a system entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EntityKind {
+    /// An operating-system process.
+    Process,
+    /// A regular file or directory.
+    File,
+    /// A network socket.
+    Socket,
+    /// An anonymous pipe.
+    Pipe,
+}
+
+impl EntityKind {
+    /// Short prefix used in node labels.
+    pub fn prefix(self) -> &'static str {
+        match self {
+            EntityKind::Process => "proc",
+            EntityKind::File => "file",
+            EntityKind::Socket => "socket",
+            EntityKind::Pipe => "pipe",
+        }
+    }
+}
+
+/// A system entity: a kind plus a human-readable name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Entity {
+    /// What kind of entity this is.
+    pub kind: EntityKind,
+    /// Entity name (executable name, file path, socket address, ...).
+    pub name: String,
+}
+
+impl Entity {
+    /// Creates a process entity.
+    pub fn process(name: impl Into<String>) -> Self {
+        Self { kind: EntityKind::Process, name: name.into() }
+    }
+
+    /// Creates a file entity.
+    pub fn file(name: impl Into<String>) -> Self {
+        Self { kind: EntityKind::File, name: name.into() }
+    }
+
+    /// Creates a socket entity.
+    pub fn socket(name: impl Into<String>) -> Self {
+        Self { kind: EntityKind::Socket, name: name.into() }
+    }
+
+    /// Creates a pipe entity.
+    pub fn pipe(name: impl Into<String>) -> Self {
+        Self { kind: EntityKind::Pipe, name: name.into() }
+    }
+
+    /// The node label string used in temporal graphs.
+    pub fn label_string(&self) -> String {
+        format!("{}:{}", self.kind.prefix(), self.name)
+    }
+}
+
+impl fmt::Display for Entity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_strings_follow_kind_prefixes() {
+        assert_eq!(Entity::process("sshd").label_string(), "proc:sshd");
+        assert_eq!(Entity::file("/etc/passwd").label_string(), "file:/etc/passwd");
+        assert_eq!(Entity::socket("10.0.0.2:22").label_string(), "socket:10.0.0.2:22");
+        assert_eq!(Entity::pipe("p1").label_string(), "pipe:p1");
+    }
+
+    #[test]
+    fn entities_with_same_kind_and_name_are_equal() {
+        assert_eq!(Entity::file("/tmp/x"), Entity::file("/tmp/x"));
+        assert_ne!(Entity::file("/tmp/x"), Entity::process("/tmp/x"));
+    }
+
+    #[test]
+    fn display_matches_label_string() {
+        let e = Entity::socket("remote:443");
+        assert_eq!(format!("{e}"), e.label_string());
+    }
+}

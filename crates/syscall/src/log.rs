@@ -1,0 +1,145 @@
+//! Syscall logs and their conversion to temporal graphs.
+//!
+//! A [`SyscallLog`] is an ordered list of [`SyscallEvent`]s, exactly what a kernel-level
+//! monitor emits for one activity. Converting a log to a temporal graph (Figure 1(a))
+//! creates one node per distinct entity and one edge per event, with edges ordered by
+//! their timestamps.
+
+use crate::entity::Entity;
+use crate::event::{SyscallEvent, SyscallType};
+use std::collections::HashMap;
+use tgraph::{GraphBuilder, LabelInterner, TemporalGraph};
+
+/// An ordered syscall log for one activity (or one background window).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SyscallLog {
+    events: Vec<SyscallEvent>,
+}
+
+impl SyscallLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event. The timestamp must be strictly larger than the previous one;
+    /// if it is not, it is bumped to keep the total order (data collectors sequentialise
+    /// concurrent events, Section 5).
+    pub fn record(&mut self, mut event: SyscallEvent) {
+        if let Some(last) = self.events.last() {
+            if event.ts <= last.ts {
+                event.ts = last.ts + 1;
+            }
+        }
+        self.events.push(event);
+    }
+
+    /// Convenience: record an event with the next timestamp.
+    pub fn record_next(&mut self, subject: Entity, object: Entity, syscall: SyscallType) {
+        let ts = self.events.last().map(|e| e.ts + 1).unwrap_or(1);
+        self.events.push(SyscallEvent { ts, subject, object, syscall });
+    }
+
+    /// The events in timestamp order.
+    pub fn events(&self) -> &[SyscallEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Timestamp of the first and last event, if any.
+    pub fn timespan(&self) -> Option<(u64, u64)> {
+        match (self.events.first(), self.events.last()) {
+            (Some(a), Some(b)) => Some((a.ts, b.ts)),
+            _ => None,
+        }
+    }
+
+    /// Converts the log to a temporal graph, interning entity labels in `interner`.
+    ///
+    /// Distinct entities become nodes (entities are deduplicated by kind + name); every
+    /// event becomes one edge in the direction of information flow.
+    pub fn to_temporal_graph(&self, interner: &mut LabelInterner) -> TemporalGraph {
+        let mut node_of: HashMap<Entity, usize> = HashMap::new();
+        let mut builder = GraphBuilder::with_capacity(self.events.len(), self.events.len());
+        for event in &self.events {
+            let (src_entity, dst_entity) = event.edge_endpoints();
+            let src = *node_of.entry(src_entity.clone()).or_insert_with(|| {
+                builder.add_node(interner.intern(&src_entity.label_string()))
+            });
+            let dst = *node_of.entry(dst_entity.clone()).or_insert_with(|| {
+                builder.add_node(interner.intern(&dst_entity.label_string()))
+            });
+            builder
+                .add_edge(src, dst, event.ts)
+                .expect("record() keeps timestamps strictly increasing");
+        }
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_keeps_timestamps_strictly_increasing() {
+        let mut log = SyscallLog::new();
+        log.record(SyscallEvent {
+            ts: 5,
+            subject: Entity::process("a"),
+            object: Entity::file("f"),
+            syscall: SyscallType::Open,
+        });
+        log.record(SyscallEvent {
+            ts: 5,
+            subject: Entity::process("a"),
+            object: Entity::file("f"),
+            syscall: SyscallType::Read,
+        });
+        assert_eq!(log.events()[1].ts, 6);
+        assert_eq!(log.timespan(), Some((5, 6)));
+    }
+
+    #[test]
+    fn conversion_deduplicates_entities() {
+        let mut log = SyscallLog::new();
+        log.record_next(Entity::process("bash"), Entity::process("gzip"), SyscallType::Fork);
+        log.record_next(Entity::process("gzip"), Entity::file("/tmp/a.gz"), SyscallType::Read);
+        log.record_next(Entity::process("gzip"), Entity::file("/tmp/a"), SyscallType::Write);
+        log.record_next(Entity::process("gzip"), Entity::file("/tmp/a.gz"), SyscallType::Unlink);
+        let mut interner = LabelInterner::new();
+        let g = log.to_temporal_graph(&mut interner);
+        assert_eq!(g.node_count(), 4); // bash, gzip, a.gz, a
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(interner.len(), 4);
+    }
+
+    #[test]
+    fn read_edges_point_into_the_process() {
+        let mut log = SyscallLog::new();
+        log.record_next(Entity::process("cat"), Entity::file("/etc/passwd"), SyscallType::Read);
+        let mut interner = LabelInterner::new();
+        let g = log.to_temporal_graph(&mut interner);
+        let edge = g.edge(0);
+        assert_eq!(interner.name(g.label(edge.src)), Some("file:/etc/passwd"));
+        assert_eq!(interner.name(g.label(edge.dst)), Some("proc:cat"));
+    }
+
+    #[test]
+    fn empty_log_produces_empty_graph() {
+        let log = SyscallLog::new();
+        let mut interner = LabelInterner::new();
+        let g = log.to_temporal_graph(&mut interner);
+        assert!(g.is_empty());
+        assert!(log.is_empty());
+    }
+}

@@ -1,0 +1,16 @@
+//! The paper's baselines (Section 6.1).
+//!
+//! * [`variants`] — the five efficiency baselines (`SubPrune`, `SupPrune`, `PruneGI`,
+//!   `PruneVF2`, `LinearScan`), expressed as alternative [`crate::miner::MinerConfig`]s.
+//! * [`gspan`] — `Ntemp`: discriminative *non-temporal* graph pattern mining (gSpan-style
+//!   growth with canonical deduplication) used as the accuracy baseline of Table 2.
+//! * [`nodeset`] — `NodeSet`: keyword queries built from the top-k discriminative node
+//!   labels.
+
+pub mod gspan;
+pub mod nodeset;
+pub mod variants;
+
+pub use gspan::{mine_nontemporal, NonTemporalResult, StaticPattern};
+pub use nodeset::{mine_nodeset, NodeSetQuery};
+pub use variants::MinerVariant;

@@ -1,0 +1,104 @@
+//! The five efficiency baselines of Section 6.1 as miner configurations.
+//!
+//! All baselines use the same pattern-growth algorithm and the naive upper-bound
+//! condition; they differ in which of TGMiner's pruning components they keep:
+//!
+//! | Variant      | subgraph pruning | supergraph pruning | subgraph test | residual test |
+//! |--------------|------------------|--------------------|---------------|---------------|
+//! | `TgMiner`    | yes              | yes                | sequence      | signature     |
+//! | `SubPrune`   | yes              | no                 | sequence      | signature     |
+//! | `SupPrune`   | no               | yes                | sequence      | signature     |
+//! | `PruneGI`    | yes              | yes                | graph index   | signature     |
+//! | `PruneVF2`   | yes              | yes                | VF2           | signature     |
+//! | `LinearScan` | yes              | yes                | sequence      | linear scan   |
+
+use crate::miner::MinerConfig;
+use crate::pruning::{ResidualTestAlgo, SubgraphTestAlgo};
+
+/// One of the mining algorithm variants compared in Figure 13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MinerVariant {
+    /// The full TGMiner.
+    TgMiner,
+    /// Subgraph pruning only.
+    SubPrune,
+    /// Supergraph pruning only.
+    SupPrune,
+    /// All prunings, graph-index based temporal subgraph tests.
+    PruneGI,
+    /// All prunings, VF2-based temporal subgraph tests.
+    PruneVF2,
+    /// All prunings, linear-scan residual-set equivalence tests.
+    LinearScan,
+}
+
+impl MinerVariant {
+    /// All variants in the order used by the figures.
+    pub fn all() -> [MinerVariant; 6] {
+        [
+            MinerVariant::TgMiner,
+            MinerVariant::SubPrune,
+            MinerVariant::SupPrune,
+            MinerVariant::PruneGI,
+            MinerVariant::PruneVF2,
+            MinerVariant::LinearScan,
+        ]
+    }
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            MinerVariant::TgMiner => "TGMiner",
+            MinerVariant::SubPrune => "SubPrune",
+            MinerVariant::SupPrune => "SupPrune",
+            MinerVariant::PruneGI => "PruneGI",
+            MinerVariant::PruneVF2 => "PruneVF2",
+            MinerVariant::LinearScan => "LinearScan",
+        }
+    }
+
+    /// The miner configuration implementing this variant, with the given pattern-size cap.
+    pub fn config(self, max_edges: usize) -> MinerConfig {
+        let base = MinerConfig { max_edges, ..MinerConfig::default() };
+        match self {
+            MinerVariant::TgMiner => base,
+            MinerVariant::SubPrune => MinerConfig { use_supergraph_pruning: false, ..base },
+            MinerVariant::SupPrune => MinerConfig { use_subgraph_pruning: false, ..base },
+            MinerVariant::PruneGI => {
+                MinerConfig { subgraph_test: SubgraphTestAlgo::GraphIndex, ..base }
+            }
+            MinerVariant::PruneVF2 => MinerConfig { subgraph_test: SubgraphTestAlgo::Vf2, ..base },
+            MinerVariant::LinearScan => {
+                MinerConfig { residual_test: ResidualTestAlgo::LinearScan, ..base }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_lists_six_distinct_variants() {
+        let all = MinerVariant::all();
+        assert_eq!(all.len(), 6);
+        let names: std::collections::HashSet<_> = all.iter().map(|v| v.name()).collect();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn configs_differ_as_documented() {
+        let tg = MinerVariant::TgMiner.config(6);
+        assert!(tg.use_subgraph_pruning && tg.use_supergraph_pruning);
+        assert_eq!(tg.subgraph_test, SubgraphTestAlgo::Sequence);
+        assert_eq!(tg.residual_test, ResidualTestAlgo::Signature);
+
+        assert!(!MinerVariant::SubPrune.config(6).use_supergraph_pruning);
+        assert!(!MinerVariant::SupPrune.config(6).use_subgraph_pruning);
+        assert_eq!(MinerVariant::PruneGI.config(6).subgraph_test, SubgraphTestAlgo::GraphIndex);
+        assert_eq!(MinerVariant::PruneVF2.config(6).subgraph_test, SubgraphTestAlgo::Vf2);
+        assert_eq!(MinerVariant::LinearScan.config(6).residual_test, ResidualTestAlgo::LinearScan);
+        assert_eq!(MinerVariant::PruneVF2.config(9).max_edges, 9);
+    }
+}

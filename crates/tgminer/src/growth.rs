@@ -1,0 +1,312 @@
+//! Consecutive pattern growth (Section 3): extension enumeration from embeddings.
+//!
+//! Given a pattern and its occurrences, every match's residual edges (the data edges
+//! after its last matched edge) are scanned once. Each residual edge that touches the
+//! match induces exactly one of the three growth options of Section 3.2 — forward,
+//! backward, or inward — identified by an [`ExtensionKey`]. Grouping the resulting
+//! child embeddings by key yields, per Lemma 3 and Theorem 1, every child pattern
+//! exactly once, with its occurrence list already materialised.
+//!
+//! Candidate keys are taken from the *positive* graphs only (a pattern absent from the
+//! positives has zero positive frequency and can never be discriminative); the negative
+//! occurrences are then extended for exactly those keys.
+
+use crate::embedding::{GraphOccurrences, Occurrences};
+use std::collections::BTreeMap;
+use tgraph::matching::Embedding;
+use tgraph::pattern::{GrowthKind, TemporalPattern};
+use tgraph::{Label, TemporalGraph};
+
+/// Identifies one consecutive-growth step of a specific pattern.
+///
+/// Node indices refer to the parent pattern's canonical node ids; the new node created
+/// by forward/backward growth always receives id `parent.node_count()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ExtensionKey {
+    /// New edge from existing node `src` to a new node labeled `dst_label`.
+    Forward {
+        /// Existing source node (parent pattern id).
+        src: usize,
+        /// Label of the new destination node.
+        dst_label: Label,
+    },
+    /// New edge from a new node labeled `src_label` to existing node `dst`.
+    Backward {
+        /// Label of the new source node.
+        src_label: Label,
+        /// Existing destination node (parent pattern id).
+        dst: usize,
+    },
+    /// New edge between two existing nodes.
+    Inward {
+        /// Existing source node.
+        src: usize,
+        /// Existing destination node.
+        dst: usize,
+    },
+}
+
+impl ExtensionKey {
+    /// The growth option this key corresponds to.
+    pub fn kind(&self) -> GrowthKind {
+        match self {
+            ExtensionKey::Forward { .. } => GrowthKind::Forward,
+            ExtensionKey::Backward { .. } => GrowthKind::Backward,
+            ExtensionKey::Inward { .. } => GrowthKind::Inward,
+        }
+    }
+
+    /// Applies this growth step to `parent`, producing the child pattern.
+    pub fn apply(&self, parent: &TemporalPattern) -> TemporalPattern {
+        match *self {
+            ExtensionKey::Forward { src, dst_label } => parent
+                .grow_forward(src, dst_label)
+                .expect("extension keys reference valid parent nodes"),
+            ExtensionKey::Backward { src_label, dst } => parent
+                .grow_backward(src_label, dst)
+                .expect("extension keys reference valid parent nodes"),
+            ExtensionKey::Inward { src, dst } => parent
+                .grow_inward(src, dst)
+                .expect("extension keys reference valid parent nodes"),
+        }
+    }
+}
+
+/// A candidate child pattern: the growth step plus its already-materialised occurrences.
+#[derive(Debug, Clone)]
+pub struct Extension {
+    /// The growth step relative to the parent pattern.
+    pub key: ExtensionKey,
+    /// Occurrences of the child pattern.
+    pub occurrences: Occurrences,
+}
+
+/// Enumerates all consecutive-growth extensions of `pattern` supported by at least one
+/// positive graph, together with their occurrences on both graph sets.
+///
+/// `cap_per_graph` bounds how many child embeddings are kept per (extension, graph); it
+/// guards against embedding explosion in label-repetitive background graphs.
+pub fn enumerate_extensions(
+    occ: &Occurrences,
+    positives: &[TemporalGraph],
+    negatives: &[TemporalGraph],
+    cap_per_graph: usize,
+) -> Vec<Extension> {
+    let mut pos_children: BTreeMap<ExtensionKey, Vec<GraphOccurrences>> = BTreeMap::new();
+    for graph_occ in &occ.pos {
+        extend_graph(
+            graph_occ,
+            &positives[graph_occ.graph_id],
+            cap_per_graph,
+            None,
+            &mut pos_children,
+        );
+    }
+    if pos_children.is_empty() {
+        return Vec::new();
+    }
+    let mut neg_children: BTreeMap<ExtensionKey, Vec<GraphOccurrences>> = BTreeMap::new();
+    for graph_occ in &occ.neg {
+        extend_graph(
+            graph_occ,
+            &negatives[graph_occ.graph_id],
+            cap_per_graph,
+            Some(&pos_children),
+            &mut neg_children,
+        );
+    }
+    pos_children
+        .into_iter()
+        .map(|(key, pos)| Extension {
+            key,
+            occurrences: Occurrences { pos, neg: neg_children.remove(&key).unwrap_or_default() },
+        })
+        .collect()
+}
+
+/// Extends every embedding of one graph, bucketing child embeddings by extension key.
+/// When `allowed` is provided, only keys present in it are considered (negative side).
+fn extend_graph(
+    graph_occ: &GraphOccurrences,
+    graph: &TemporalGraph,
+    cap_per_graph: usize,
+    allowed: Option<&BTreeMap<ExtensionKey, Vec<GraphOccurrences>>>,
+    out: &mut BTreeMap<ExtensionKey, Vec<GraphOccurrences>>,
+) {
+    // Child embeddings for this graph, keyed by extension.
+    let mut local: BTreeMap<ExtensionKey, Vec<Embedding>> = BTreeMap::new();
+    for embedding in &graph_occ.embeddings {
+        for idx in (embedding.last_edge_idx + 1)..graph.edge_count() {
+            let edge = graph.edge(idx);
+            let src_p = embedding.node_map.iter().position(|&n| n == edge.src);
+            let dst_p = embedding.node_map.iter().position(|&n| n == edge.dst);
+            let (key, new_node) = match (src_p, dst_p) {
+                (Some(s), Some(d)) => (ExtensionKey::Inward { src: s, dst: d }, None),
+                (Some(s), None) => {
+                    if edge.src == edge.dst {
+                        continue; // self-loop on an unmapped node cannot split
+                    }
+                    (
+                        ExtensionKey::Forward { src: s, dst_label: graph.label(edge.dst) },
+                        Some(edge.dst),
+                    )
+                }
+                (None, Some(d)) => (
+                    ExtensionKey::Backward { src_label: graph.label(edge.src), dst: d },
+                    Some(edge.src),
+                ),
+                (None, None) => continue,
+            };
+            if let Some(allowed) = allowed {
+                if !allowed.contains_key(&key) {
+                    continue;
+                }
+            }
+            let bucket = local.entry(key).or_default();
+            if bucket.len() >= cap_per_graph {
+                continue;
+            }
+            let mut node_map = embedding.node_map.clone();
+            if let Some(node) = new_node {
+                node_map.push(node);
+            }
+            bucket.push(Embedding { node_map, last_edge_idx: idx });
+        }
+    }
+    for (key, embeddings) in local {
+        out.entry(key)
+            .or_default()
+            .push(GraphOccurrences { graph_id: graph_occ.graph_id, embeddings });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgraph::{GraphBuilder, Label};
+
+    fn l(i: u32) -> Label {
+        Label(i)
+    }
+
+    /// Positive graph: A0 -> B1 @1, B1 -> C2 @2, A0 -> B1 @3 (multi-edge), D3 -> A0 @4.
+    fn positive() -> TemporalGraph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(l(0));
+        let bb = b.add_node(l(1));
+        let c = b.add_node(l(2));
+        let d = b.add_node(l(3));
+        b.add_edge(a, bb, 1).unwrap();
+        b.add_edge(bb, c, 2).unwrap();
+        b.add_edge(a, bb, 3).unwrap();
+        b.add_edge(d, a, 4).unwrap();
+        b.build()
+    }
+
+    /// Negative graph: A -> B @1, B -> C @2.
+    fn negative() -> TemporalGraph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(l(0));
+        let bb = b.add_node(l(1));
+        let c = b.add_node(l(2));
+        b.add_edge(a, bb, 1).unwrap();
+        b.add_edge(bb, c, 2).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn enumerates_all_three_growth_kinds() {
+        let positives = vec![positive()];
+        let negatives = vec![negative()];
+        let p = TemporalPattern::single_edge(l(0), l(1));
+        let occ = Occurrences::compute(&p, &positives, &negatives, 100);
+        let extensions = enumerate_extensions(&occ, &positives, &negatives, 100);
+        let keys: Vec<ExtensionKey> = extensions.iter().map(|e| e.key).collect();
+        // From the first A->B match (edge 0): B->C forward, A->B inward (edge 2),
+        // D->A backward (edge 3). The second A->B match (edge 2) adds D->A backward only.
+        assert!(keys.contains(&ExtensionKey::Forward { src: 1, dst_label: l(2) }));
+        assert!(keys.contains(&ExtensionKey::Inward { src: 0, dst: 1 }));
+        assert!(keys.contains(&ExtensionKey::Backward { src_label: l(3), dst: 0 }));
+        assert_eq!(keys.len(), 3);
+    }
+
+    #[test]
+    fn negative_occurrences_follow_positive_keys() {
+        let positives = vec![positive()];
+        let negatives = vec![negative()];
+        let p = TemporalPattern::single_edge(l(0), l(1));
+        let occ = Occurrences::compute(&p, &positives, &negatives, 100);
+        let extensions = enumerate_extensions(&occ, &positives, &negatives, 100);
+        let forward = extensions
+            .iter()
+            .find(|e| e.key == ExtensionKey::Forward { src: 1, dst_label: l(2) })
+            .unwrap();
+        assert_eq!(forward.occurrences.pos.len(), 1);
+        assert_eq!(forward.occurrences.neg.len(), 1);
+        let backward = extensions
+            .iter()
+            .find(|e| e.key == ExtensionKey::Backward { src_label: l(3), dst: 0 })
+            .unwrap();
+        assert!(backward.occurrences.neg.is_empty());
+    }
+
+    #[test]
+    fn child_embeddings_extend_parent_embeddings() {
+        let positives = vec![positive()];
+        let p = TemporalPattern::single_edge(l(0), l(1));
+        let occ = Occurrences::compute(&p, &positives, &[], 100);
+        let extensions = enumerate_extensions(&occ, &positives, &[], 100);
+        let inward = extensions
+            .iter()
+            .find(|e| e.key == ExtensionKey::Inward { src: 0, dst: 1 })
+            .unwrap();
+        let emb = &inward.occurrences.pos[0].embeddings[0];
+        assert_eq!(emb.node_map, vec![0, 1]);
+        assert_eq!(emb.last_edge_idx, 2);
+        let child = inward.key.apply(&p);
+        assert_eq!(child.edge_count(), 2);
+        assert_eq!(child.node_count(), 2);
+    }
+
+    #[test]
+    fn extension_application_matches_kind() {
+        let p = TemporalPattern::single_edge(l(0), l(1));
+        let fwd = ExtensionKey::Forward { src: 1, dst_label: l(2) };
+        let bwd = ExtensionKey::Backward { src_label: l(3), dst: 0 };
+        let inw = ExtensionKey::Inward { src: 0, dst: 1 };
+        assert_eq!(fwd.kind(), GrowthKind::Forward);
+        assert_eq!(bwd.kind(), GrowthKind::Backward);
+        assert_eq!(inw.kind(), GrowthKind::Inward);
+        assert_eq!(fwd.apply(&p).node_count(), 3);
+        assert_eq!(bwd.apply(&p).node_count(), 3);
+        assert_eq!(inw.apply(&p).node_count(), 2);
+    }
+
+    #[test]
+    fn cap_limits_child_embeddings_per_graph() {
+        // A graph with many A->B edges yields many inward extensions of A->B.
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(l(0));
+        let bb = b.add_node(l(1));
+        for t in 1..=10 {
+            b.add_edge(a, bb, t).unwrap();
+        }
+        let positives = vec![b.build()];
+        let p = TemporalPattern::single_edge(l(0), l(1));
+        let occ = Occurrences::compute(&p, &positives, &[], 100);
+        let extensions = enumerate_extensions(&occ, &positives, &[], 3);
+        let inward = extensions
+            .iter()
+            .find(|e| e.key == ExtensionKey::Inward { src: 0, dst: 1 })
+            .unwrap();
+        assert_eq!(inward.occurrences.pos[0].embeddings.len(), 3);
+    }
+
+    #[test]
+    fn no_extensions_when_pattern_absent_from_positives() {
+        let positives = vec![negative()];
+        let p = TemporalPattern::single_edge(l(7), l(8));
+        let occ = Occurrences::compute(&p, &positives, &[], 100);
+        assert!(enumerate_extensions(&occ, &positives, &[], 100).is_empty());
+    }
+}

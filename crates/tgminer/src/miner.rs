@@ -1,0 +1,455 @@
+//! The TGMiner mining algorithm (Sections 2–4).
+//!
+//! [`mine`] performs a depth-first search over the T-connected temporal pattern space:
+//! every one-edge pattern present in the positive graphs seeds a branch, branches grow
+//! through the three consecutive-growth options, and the search is pruned by the naive
+//! upper bound (Section 4.1) plus subgraph/supergraph pruning (Section 4.2). Which
+//! pruning conditions are active and which algorithms implement the temporal subgraph
+//! test and the residual-set equivalence test are all configurable — the paper's five
+//! efficiency baselines are exactly such configurations (see [`crate::baselines`]).
+
+use crate::embedding::{GraphOccurrences, Occurrences};
+use crate::growth::enumerate_extensions;
+use crate::pruning::{
+    PatternFacts, PruneReason, PruningRegistry, ResidualTestAlgo, SubgraphTestAlgo,
+};
+use crate::score::ScoreFunction;
+use crate::stats::MiningStats;
+use std::collections::BTreeMap;
+use std::time::Instant;
+use tgraph::matching::Embedding;
+use tgraph::pattern::TemporalPattern;
+use tgraph::residual::LabelPostings;
+use tgraph::{Label, TemporalGraph};
+
+/// Configuration of a mining run.
+#[derive(Debug, Clone)]
+pub struct MinerConfig {
+    /// Maximum number of edges in mined patterns (the paper explores up to 45; behavior
+    /// queries use 6).
+    pub max_edges: usize,
+    /// Number of top-scoring patterns to return.
+    pub top_k: usize,
+    /// Maximum number of embeddings kept per (pattern, graph); guards against embedding
+    /// explosion in label-repetitive background graphs.
+    pub cap_per_graph: usize,
+    /// Minimum positive frequency a child pattern must reach to be explored (0 disables).
+    pub min_pos_freq: f64,
+    /// Enable the naive upper-bound pruning of Section 4.1.
+    pub use_upper_bound: bool,
+    /// Enable subgraph pruning (Lemma 4).
+    pub use_subgraph_pruning: bool,
+    /// Enable supergraph pruning (Proposition 2).
+    pub use_supergraph_pruning: bool,
+    /// Temporal subgraph test implementation used by the pruning framework.
+    pub subgraph_test: SubgraphTestAlgo,
+    /// Residual-set equivalence test implementation used by the pruning framework.
+    pub residual_test: ResidualTestAlgo,
+}
+
+impl Default for MinerConfig {
+    fn default() -> Self {
+        Self {
+            max_edges: 6,
+            top_k: 5,
+            cap_per_graph: 200,
+            min_pos_freq: 0.0,
+            use_upper_bound: true,
+            use_subgraph_pruning: true,
+            use_supergraph_pruning: true,
+            subgraph_test: SubgraphTestAlgo::Sequence,
+            residual_test: ResidualTestAlgo::Signature,
+        }
+    }
+}
+
+impl MinerConfig {
+    /// The full TGMiner configuration (all prunings, sequence test, signature test).
+    pub fn tgminer() -> Self {
+        Self::default()
+    }
+
+    /// Convenience: same configuration with a different maximum pattern size.
+    pub fn with_max_edges(mut self, max_edges: usize) -> Self {
+        self.max_edges = max_edges;
+        self
+    }
+
+    /// Convenience: same configuration with a different `top_k`.
+    pub fn with_top_k(mut self, top_k: usize) -> Self {
+        self.top_k = top_k;
+        self
+    }
+}
+
+/// One mined pattern with its statistics.
+#[derive(Debug, Clone)]
+pub struct MinedPattern {
+    /// The temporal graph pattern.
+    pub pattern: TemporalPattern,
+    /// Discriminative score `F(pos_freq, neg_freq)`.
+    pub score: f64,
+    /// Frequency in the positive set.
+    pub pos_freq: f64,
+    /// Frequency in the negative set.
+    pub neg_freq: f64,
+}
+
+/// Result of a mining run: the top-k patterns (sorted by decreasing score) plus work
+/// counters.
+#[derive(Debug, Clone, Default)]
+pub struct MiningResult {
+    /// Top patterns sorted by decreasing discriminative score.
+    pub patterns: Vec<MinedPattern>,
+    /// Work counters of the run.
+    pub stats: MiningStats,
+}
+
+impl MiningResult {
+    /// The single most discriminative pattern, if any pattern was found.
+    pub fn best(&self) -> Option<&MinedPattern> {
+        self.patterns.first()
+    }
+
+    /// The best score, or negative infinity when nothing was mined.
+    pub fn best_score(&self) -> f64 {
+        self.best().map(|p| p.score).unwrap_or(f64::NEG_INFINITY)
+    }
+}
+
+/// Mines the most discriminative T-connected temporal graph patterns distinguishing
+/// `positives` from `negatives` under the score function `score`.
+pub fn mine(
+    positives: &[TemporalGraph],
+    negatives: &[TemporalGraph],
+    score: &dyn ScoreFunction,
+    config: &MinerConfig,
+) -> MiningResult {
+    let start = Instant::now();
+    let postings_pos: Vec<LabelPostings> = if config.use_subgraph_pruning {
+        positives.iter().map(LabelPostings::build).collect()
+    } else {
+        Vec::new()
+    };
+    let mut miner = Miner {
+        positives,
+        negatives,
+        score,
+        config,
+        postings_pos,
+        registry: PruningRegistry::new(
+            config.subgraph_test,
+            config.residual_test,
+            config.use_subgraph_pruning,
+            config.use_supergraph_pruning,
+        ),
+        top: Vec::new(),
+        stats: MiningStats::default(),
+    };
+    for (pattern, occ) in seed_patterns(positives, negatives, config.cap_per_graph) {
+        miner.dfs(&pattern, &occ);
+    }
+    let mut result = MiningResult { patterns: miner.top, stats: miner.stats };
+    result
+        .patterns
+        .sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    result.stats.elapsed = start.elapsed();
+    result
+}
+
+/// Seed key for one-edge patterns: either a labeled directed edge or a labeled self-loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum SeedKey {
+    Edge(Label, Label),
+    SelfLoop(Label),
+}
+
+/// Enumerates all one-edge patterns present in the positive set together with their
+/// occurrences on both sets, in deterministic order.
+fn seed_patterns(
+    positives: &[TemporalGraph],
+    negatives: &[TemporalGraph],
+    cap_per_graph: usize,
+) -> Vec<(TemporalPattern, Occurrences)> {
+    let pos_map = collect_seed_occurrences(positives, cap_per_graph, None);
+    let allowed: Vec<SeedKey> = pos_map.keys().copied().collect();
+    let mut neg_map = collect_seed_occurrences(negatives, cap_per_graph, Some(&allowed));
+    pos_map
+        .into_iter()
+        .map(|(key, pos)| {
+            let pattern = match key {
+                SeedKey::Edge(src, dst) => TemporalPattern::single_edge(src, dst),
+                SeedKey::SelfLoop(label) => TemporalPattern::single_self_loop(label),
+            };
+            let neg = neg_map.remove(&key).unwrap_or_default();
+            (pattern, Occurrences { pos, neg })
+        })
+        .collect()
+}
+
+fn collect_seed_occurrences(
+    graphs: &[TemporalGraph],
+    cap_per_graph: usize,
+    allowed: Option<&[SeedKey]>,
+) -> BTreeMap<SeedKey, Vec<GraphOccurrences>> {
+    let mut out: BTreeMap<SeedKey, Vec<GraphOccurrences>> = BTreeMap::new();
+    for (graph_id, graph) in graphs.iter().enumerate() {
+        let mut local: BTreeMap<SeedKey, Vec<Embedding>> = BTreeMap::new();
+        for (idx, edge) in graph.edges().iter().enumerate() {
+            let (key, node_map) = if edge.src == edge.dst {
+                (SeedKey::SelfLoop(graph.label(edge.src)), vec![edge.src])
+            } else {
+                (
+                    SeedKey::Edge(graph.label(edge.src), graph.label(edge.dst)),
+                    vec![edge.src, edge.dst],
+                )
+            };
+            if let Some(allowed) = allowed {
+                if !allowed.contains(&key) {
+                    continue;
+                }
+            }
+            let bucket = local.entry(key).or_default();
+            if bucket.len() >= cap_per_graph {
+                continue;
+            }
+            bucket.push(Embedding { node_map, last_edge_idx: idx });
+        }
+        for (key, embeddings) in local {
+            out.entry(key).or_default().push(GraphOccurrences { graph_id, embeddings });
+        }
+    }
+    out
+}
+
+struct Miner<'a> {
+    positives: &'a [TemporalGraph],
+    negatives: &'a [TemporalGraph],
+    score: &'a dyn ScoreFunction,
+    config: &'a MinerConfig,
+    postings_pos: Vec<LabelPostings>,
+    registry: PruningRegistry,
+    top: Vec<MinedPattern>,
+    stats: MiningStats,
+}
+
+impl Miner<'_> {
+    /// Current pruning threshold `F*`: the k-th best score found so far.
+    fn f_star(&self) -> f64 {
+        if self.top.len() >= self.config.top_k {
+            self.top.last().map(|p| p.score).unwrap_or(f64::NEG_INFINITY)
+        } else {
+            f64::NEG_INFINITY
+        }
+    }
+
+    /// Offers a pattern to the top-k collection.
+    fn offer(&mut self, pattern: &TemporalPattern, score: f64, pos_freq: f64, neg_freq: f64) {
+        if self.top.len() >= self.config.top_k && score <= self.f_star() {
+            return;
+        }
+        self.top.push(MinedPattern { pattern: pattern.clone(), score, pos_freq, neg_freq });
+        self.top
+            .sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        self.top.truncate(self.config.top_k);
+    }
+
+    /// Depth-first exploration of `pattern`'s branch. Returns the best score seen in the
+    /// branch and whether the branch was truncated by the size cap.
+    fn dfs(&mut self, pattern: &TemporalPattern, occ: &Occurrences) -> (f64, bool) {
+        self.stats.patterns_processed += 1;
+        self.stats.embeddings_materialized += occ.total_embeddings();
+
+        let pos_freq = occ.freq_pos(self.positives.len());
+        let neg_freq = occ.freq_neg(self.negatives.len());
+        let score = self.score.score(pos_freq, neg_freq);
+        self.offer(pattern, score, pos_freq, neg_freq);
+        let mut branch_best = score;
+
+        let pruning_enabled =
+            self.config.use_subgraph_pruning || self.config.use_supergraph_pruning;
+
+        // Size cap: the pattern itself is kept but its branch is not explored.
+        if pattern.edge_count() >= self.config.max_edges {
+            if pruning_enabled {
+                let facts = self.gather_facts(pattern, occ);
+                self.registry.register(facts, branch_best, true);
+            }
+            return (branch_best, true);
+        }
+
+        // Naive upper-bound pruning (Section 4.1).
+        if self.config.use_upper_bound {
+            let bound = self.score.upper_bound(pos_freq);
+            if bound < self.f_star() {
+                self.stats.upper_bound_prunes += 1;
+                if pruning_enabled {
+                    let facts = self.gather_facts(pattern, occ);
+                    // Every descendant scores at most `bound`, which is below the
+                    // threshold forever (F* never decreases), so the branch is dominated.
+                    self.registry.register(facts, bound, false);
+                }
+                return (branch_best, false);
+            }
+        }
+
+        // Subgraph / supergraph pruning (Section 4.2).
+        let facts = if pruning_enabled { Some(self.gather_facts(pattern, occ)) } else { None };
+        if let Some(facts) = &facts {
+            let f_star = self.f_star();
+            if let Some(reason) = self.registry.check(
+                facts,
+                occ,
+                &self.postings_pos,
+                self.positives,
+                self.negatives,
+                f_star,
+                &mut self.stats,
+            ) {
+                match reason {
+                    PruneReason::Subgraph => self.stats.subgraph_prunes += 1,
+                    PruneReason::Supergraph => self.stats.supergraph_prunes += 1,
+                }
+                // The dominating entry proves this branch never reaches F*, which only
+                // grows, so registering it as dominated is sound.
+                self.registry.register(facts.clone(), f64::NEG_INFINITY, false);
+                return (branch_best, false);
+            }
+        }
+
+        self.stats.patterns_expanded += 1;
+        let extensions =
+            enumerate_extensions(occ, self.positives, self.negatives, self.config.cap_per_graph);
+        self.stats.extensions_evaluated += extensions.len() as u64;
+        let mut truncated = false;
+        for extension in extensions {
+            if self.config.min_pos_freq > 0.0
+                && extension.occurrences.freq_pos(self.positives.len()) < self.config.min_pos_freq
+            {
+                continue;
+            }
+            let child = extension.key.apply(pattern);
+            let (child_best, child_truncated) = self.dfs(&child, &extension.occurrences);
+            branch_best = branch_best.max(child_best);
+            truncated |= child_truncated;
+        }
+        if let Some(facts) = facts {
+            self.registry.register(facts, branch_best, truncated);
+        }
+        (branch_best, truncated)
+    }
+
+    fn gather_facts(&self, pattern: &TemporalPattern, occ: &Occurrences) -> PatternFacts {
+        PatternFacts::gather(pattern, occ, self.positives, self.negatives, self.config.residual_test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score::LogRatio;
+    use tgraph::GraphBuilder;
+
+    fn l(i: u32) -> Label {
+        Label(i)
+    }
+
+    /// A positive graph with the signature chain A->B->C plus a noise edge.
+    fn positive_graph(noise_label: u32) -> TemporalGraph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(l(0));
+        let bb = b.add_node(l(1));
+        let c = b.add_node(l(2));
+        let n = b.add_node(l(noise_label));
+        b.add_edge(a, bb, 1).unwrap();
+        b.add_edge(bb, c, 2).unwrap();
+        b.add_edge(c, n, 3).unwrap();
+        b.build()
+    }
+
+    /// A negative graph that contains the same labels but in a different temporal order:
+    /// B->C happens before A->B.
+    fn negative_graph() -> TemporalGraph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(l(0));
+        let bb = b.add_node(l(1));
+        let c = b.add_node(l(2));
+        b.add_edge(bb, c, 1).unwrap();
+        b.add_edge(a, bb, 2).unwrap();
+        b.build()
+    }
+
+    fn datasets() -> (Vec<TemporalGraph>, Vec<TemporalGraph>) {
+        let positives = vec![positive_graph(5), positive_graph(6), positive_graph(7)];
+        let negatives = vec![negative_graph(), negative_graph(), negative_graph()];
+        (positives, negatives)
+    }
+
+    #[test]
+    fn finds_the_temporally_discriminative_pattern() {
+        let (positives, negatives) = datasets();
+        let result = mine(&positives, &negatives, &LogRatio::default(), &MinerConfig::default());
+        let best = result.best().expect("patterns found");
+        // The chain A->B->C (in that order) occurs in every positive and no negative.
+        assert!((best.pos_freq - 1.0).abs() < 1e-12);
+        assert_eq!(best.neg_freq, 0.0);
+        assert!(best.pattern.edge_count() >= 2);
+        // A->B alone and B->C alone occur in negatives too, so the best pattern must
+        // involve both edges in order.
+        let ab = TemporalPattern::single_edge(l(0), l(1));
+        let ab_then_bc = ab.grow_forward(1, l(2)).unwrap();
+        assert!(tgraph::seqtest::is_temporal_subgraph(&ab_then_bc, &best.pattern));
+    }
+
+    #[test]
+    fn respects_max_edges() {
+        let (positives, negatives) = datasets();
+        let config = MinerConfig::default().with_max_edges(1);
+        let result = mine(&positives, &negatives, &LogRatio::default(), &config);
+        assert!(result.patterns.iter().all(|p| p.pattern.edge_count() == 1));
+    }
+
+    #[test]
+    fn top_k_limits_result_size() {
+        let (positives, negatives) = datasets();
+        let config = MinerConfig::default().with_top_k(2);
+        let result = mine(&positives, &negatives, &LogRatio::default(), &config);
+        assert!(result.patterns.len() <= 2);
+        assert!(result.patterns.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn pruned_and_unpruned_runs_agree_on_the_best_score() {
+        let (positives, negatives) = datasets();
+        let full = MinerConfig { max_edges: 4, ..MinerConfig::default() };
+        let naive = MinerConfig {
+            max_edges: 4,
+            use_subgraph_pruning: false,
+            use_supergraph_pruning: false,
+            use_upper_bound: false,
+            ..MinerConfig::default()
+        };
+        let with_pruning = mine(&positives, &negatives, &LogRatio::default(), &full);
+        let without = mine(&positives, &negatives, &LogRatio::default(), &naive);
+        assert!((with_pruning.best_score() - without.best_score()).abs() < 1e-9);
+        // Pruning must not process more patterns than the exhaustive run.
+        assert!(with_pruning.stats.patterns_processed <= without.stats.patterns_processed);
+    }
+
+    #[test]
+    fn empty_positive_set_yields_no_patterns() {
+        let negatives = vec![negative_graph()];
+        let result = mine(&[], &negatives, &LogRatio::default(), &MinerConfig::default());
+        assert!(result.patterns.is_empty());
+        assert_eq!(result.best_score(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn stats_count_processed_patterns() {
+        let (positives, negatives) = datasets();
+        let result = mine(&positives, &negatives, &LogRatio::default(), &MinerConfig::default());
+        assert!(result.stats.patterns_processed > 0);
+        assert!(result.stats.patterns_expanded > 0);
+        assert!(result.stats.embeddings_materialized > 0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Domain-knowledge based ranking of mined patterns (Appendix M).
+//!
+//! TGMiner may return several patterns with the same highest discriminative score; they
+//! are further ranked by an *interest score*: each node label `l` contributes
+//! `1 / freq(l)` where `freq(l)` is the number of training graphs containing `l`, and
+//! labels on a blacklist (temporary files, caches, `/proc` entries, ...) contribute
+//! nothing. A pattern's interest is the sum over its nodes; the top-k patterns by
+//! (discriminative score, interest) become the behavior queries.
+
+use crate::miner::{MinedPattern, MiningResult};
+use std::collections::{HashMap, HashSet};
+use tgraph::pattern::TemporalPattern;
+use tgraph::{Label, TemporalGraph};
+
+/// Interest-score ranker built from label popularity in the training data.
+#[derive(Debug, Clone, Default)]
+pub struct InterestRanker {
+    label_graph_freq: HashMap<Label, usize>,
+    blacklist: HashSet<Label>,
+}
+
+impl InterestRanker {
+    /// Builds the ranker from all training graphs (positives and negatives alike):
+    /// `freq(l)` counts how many graphs contain at least one node labeled `l`.
+    pub fn from_training<'a>(graphs: impl IntoIterator<Item = &'a TemporalGraph>) -> Self {
+        let mut label_graph_freq: HashMap<Label, usize> = HashMap::new();
+        for graph in graphs {
+            for label in graph.distinct_labels() {
+                *label_graph_freq.entry(label).or_insert(0) += 1;
+            }
+        }
+        Self { label_graph_freq, blacklist: HashSet::new() }
+    }
+
+    /// Adds labels whose interest score is forced to zero (e.g. "TmpFile", "CacheFile").
+    pub fn with_blacklist(mut self, labels: impl IntoIterator<Item = Label>) -> Self {
+        self.blacklist.extend(labels);
+        self
+    }
+
+    /// Interest score of a single label: `1 / freq(l)`, or 0 for blacklisted labels.
+    /// Labels never seen in training get the maximum interest of 1.
+    pub fn interest(&self, label: Label) -> f64 {
+        if self.blacklist.contains(&label) {
+            return 0.0;
+        }
+        match self.label_graph_freq.get(&label) {
+            Some(&freq) if freq > 0 => 1.0 / freq as f64,
+            _ => 1.0,
+        }
+    }
+
+    /// Interest score of a pattern: the sum of its nodes' interest scores.
+    pub fn pattern_interest(&self, pattern: &TemporalPattern) -> f64 {
+        pattern.labels().iter().map(|&l| self.interest(l)).sum()
+    }
+
+    /// Sorts patterns by decreasing (discriminative score, interest score).
+    pub fn rank(&self, patterns: &mut [MinedPattern]) {
+        patterns.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| {
+                    self.pattern_interest(&b.pattern)
+                        .partial_cmp(&self.pattern_interest(&a.pattern))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+        });
+    }
+
+    /// Selects the top-`k` query patterns from a mining result (Appendix M's final step).
+    pub fn top_queries(&self, result: &MiningResult, k: usize) -> Vec<MinedPattern> {
+        let mut patterns = result.patterns.clone();
+        self.rank(&mut patterns);
+        patterns.truncate(k);
+        patterns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgraph::GraphBuilder;
+
+    fn l(i: u32) -> Label {
+        Label(i)
+    }
+
+    fn graph_with_labels(labels: &[u32]) -> TemporalGraph {
+        let mut b = GraphBuilder::new();
+        let nodes: Vec<usize> = labels.iter().map(|&x| b.add_node(l(x))).collect();
+        for (i, w) in nodes.windows(2).enumerate() {
+            b.add_edge(w[0], w[1], (i + 1) as u64).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn rare_labels_are_more_interesting() {
+        let graphs = vec![
+            graph_with_labels(&[0, 1]),
+            graph_with_labels(&[0, 1]),
+            graph_with_labels(&[0, 2]),
+        ];
+        let ranker = InterestRanker::from_training(&graphs);
+        assert!(ranker.interest(l(2)) > ranker.interest(l(0)));
+        assert!((ranker.interest(l(0)) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((ranker.interest(l(2)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blacklisted_labels_contribute_nothing() {
+        let graphs = vec![graph_with_labels(&[0, 1])];
+        let ranker = InterestRanker::from_training(&graphs).with_blacklist([l(1)]);
+        assert_eq!(ranker.interest(l(1)), 0.0);
+        let p = TemporalPattern::single_edge(l(0), l(1));
+        assert!((ranker.pattern_interest(&p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unseen_labels_get_maximum_interest() {
+        let ranker = InterestRanker::from_training(std::iter::empty());
+        assert_eq!(ranker.interest(l(42)), 1.0);
+    }
+
+    #[test]
+    fn ranking_breaks_score_ties_by_interest() {
+        let graphs = vec![
+            graph_with_labels(&[0, 1, 2]),
+            graph_with_labels(&[0, 1]),
+            graph_with_labels(&[0, 1]),
+        ];
+        let ranker = InterestRanker::from_training(&graphs);
+        let common = MinedPattern {
+            pattern: TemporalPattern::single_edge(l(0), l(1)),
+            score: 2.0,
+            pos_freq: 1.0,
+            neg_freq: 0.0,
+        };
+        let rare = MinedPattern {
+            pattern: TemporalPattern::single_edge(l(0), l(2)),
+            score: 2.0,
+            pos_freq: 1.0,
+            neg_freq: 0.0,
+        };
+        let mut patterns = vec![common.clone(), rare.clone()];
+        ranker.rank(&mut patterns);
+        assert_eq!(patterns[0].pattern, rare.pattern);
+        let higher_score = MinedPattern { score: 3.0, ..common };
+        let mut patterns = vec![rare, higher_score.clone()];
+        ranker.rank(&mut patterns);
+        assert_eq!(patterns[0].pattern, higher_score.pattern);
+    }
+}

@@ -1,0 +1,109 @@
+//! Counters describing the work a mining run performed.
+//!
+//! These are the quantities the paper's efficiency evaluation reasons about: how many
+//! patterns were processed, how many temporal subgraph tests and residual-set
+//! equivalence tests ran (Section 4.2 reports >70M and >400M for sshd-login), and how
+//! often each pruning condition triggered (Table 3).
+
+use std::time::Duration;
+
+/// Work counters accumulated across one mining run.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct MiningStats {
+    /// Patterns popped from the DFS (i.e. processed, whether or not they were pruned).
+    pub patterns_processed: u64,
+    /// Patterns whose branch was fully explored (not pruned away).
+    pub patterns_expanded: u64,
+    /// Candidate extensions that were evaluated (child patterns materialised).
+    pub extensions_evaluated: u64,
+    /// Temporal subgraph tests executed by the pruning framework.
+    pub subgraph_tests: u64,
+    /// Residual-graph-set equivalence tests executed by the pruning framework.
+    pub residual_equiv_tests: u64,
+    /// Branches cut by the naive upper-bound condition (Section 4.1).
+    pub upper_bound_prunes: u64,
+    /// Branches cut by subgraph pruning (Lemma 4).
+    pub subgraph_prunes: u64,
+    /// Branches cut by supergraph pruning (Proposition 2).
+    pub supergraph_prunes: u64,
+    /// Total number of embeddings materialised across all patterns.
+    pub embeddings_materialized: u64,
+    /// Wall-clock time of the mining run.
+    pub elapsed: Duration,
+}
+
+impl MiningStats {
+    /// Empirical probability that subgraph pruning triggered while processing a pattern
+    /// (Table 3, first row).
+    pub fn subgraph_prune_rate(&self) -> f64 {
+        ratio(self.subgraph_prunes, self.patterns_processed)
+    }
+
+    /// Empirical probability that supergraph pruning triggered while processing a
+    /// pattern (Table 3, second row).
+    pub fn supergraph_prune_rate(&self) -> f64 {
+        ratio(self.supergraph_prunes, self.patterns_processed)
+    }
+
+    /// Empirical probability that the naive upper-bound condition triggered.
+    pub fn upper_bound_prune_rate(&self) -> f64 {
+        ratio(self.upper_bound_prunes, self.patterns_processed)
+    }
+
+    /// Merges counters from another run into this one (used when mining several
+    /// behaviors and reporting aggregate statistics).
+    pub fn merge(&mut self, other: &MiningStats) {
+        self.patterns_processed += other.patterns_processed;
+        self.patterns_expanded += other.patterns_expanded;
+        self.extensions_evaluated += other.extensions_evaluated;
+        self.subgraph_tests += other.subgraph_tests;
+        self.residual_equiv_tests += other.residual_equiv_tests;
+        self.upper_bound_prunes += other.upper_bound_prunes;
+        self.subgraph_prunes += other.subgraph_prunes;
+        self.supergraph_prunes += other.supergraph_prunes;
+        self.embeddings_materialized += other.embeddings_materialized;
+        self.elapsed += other.elapsed;
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_denominator() {
+        let stats = MiningStats::default();
+        assert_eq!(stats.subgraph_prune_rate(), 0.0);
+        assert_eq!(stats.supergraph_prune_rate(), 0.0);
+        assert_eq!(stats.upper_bound_prune_rate(), 0.0);
+    }
+
+    #[test]
+    fn rates_are_fractions_of_processed_patterns() {
+        let stats = MiningStats {
+            patterns_processed: 200,
+            subgraph_prunes: 120,
+            supergraph_prunes: 10,
+            ..Default::default()
+        };
+        assert!((stats.subgraph_prune_rate() - 0.6).abs() < 1e-12);
+        assert!((stats.supergraph_prune_rate() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = MiningStats { patterns_processed: 5, subgraph_tests: 7, ..Default::default() };
+        let b = MiningStats { patterns_processed: 3, subgraph_tests: 2, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.patterns_processed, 8);
+        assert_eq!(a.subgraph_tests, 9);
+    }
+}

@@ -1,0 +1,58 @@
+//! Error types for temporal graph construction and validation.
+
+use std::fmt;
+
+/// Errors raised while building or validating temporal graphs and patterns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge references a node id that has not been added to the graph.
+    UnknownNode {
+        /// The offending node id.
+        node: usize,
+        /// Number of nodes currently in the graph.
+        node_count: usize,
+    },
+    /// Edge timestamps must be strictly increasing (total edge order, Section 2).
+    NonMonotonicTimestamp {
+        /// Timestamp of the previous edge.
+        previous: u64,
+        /// Timestamp of the edge being added.
+        current: u64,
+    },
+    /// A pattern edge would break the canonical `1..=|E|` timestamp alignment.
+    MisalignedPatternTimestamp {
+        /// The expected timestamp (`|E| + 1`).
+        expected: u64,
+        /// The timestamp that was supplied.
+        found: u64,
+    },
+    /// Growing a pattern with an edge that does not touch the existing pattern
+    /// would produce a non T-connected pattern.
+    DisconnectedGrowth,
+    /// The graph is empty where a non-empty graph is required.
+    EmptyGraph,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownNode { node, node_count } => {
+                write!(f, "edge references node {node} but graph has {node_count} nodes")
+            }
+            GraphError::NonMonotonicTimestamp { previous, current } => write!(
+                f,
+                "edge timestamps must be strictly increasing: {current} follows {previous}"
+            ),
+            GraphError::MisalignedPatternTimestamp { expected, found } => write!(
+                f,
+                "pattern edge timestamp must be {expected} (consecutive growth), found {found}"
+            ),
+            GraphError::DisconnectedGrowth => {
+                write!(f, "growth edge does not touch the existing pattern")
+            }
+            GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}

@@ -1,0 +1,233 @@
+//! Embedding enumeration: all matches `M(G, g)` of a pattern in a data graph.
+//!
+//! An [`Embedding`] records the injective node mapping together with the storage index
+//! of the data edge matched to the pattern's last (largest-timestamp) edge. Because data
+//! edges are stored in timestamp order, that index fully identifies the residual graph
+//! of the match (Section 4.2): the residual graph is the edge-array suffix after it.
+
+use crate::graph::TemporalGraph;
+use crate::pattern::TemporalPattern;
+
+/// One match of a pattern in a data graph.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Embedding {
+    /// `node_map[p]` is the data node matched to pattern node `p`.
+    pub node_map: Vec<usize>,
+    /// Storage index (in the data graph's edge array) of the data edge matched to the
+    /// pattern edge with the largest timestamp.
+    pub last_edge_idx: usize,
+}
+
+impl Embedding {
+    /// The data node matched to pattern node `p`.
+    #[inline]
+    pub fn image(&self, p: usize) -> usize {
+        self.node_map[p]
+    }
+
+    /// Whether `data_node` is already used by this embedding.
+    #[inline]
+    pub fn uses(&self, data_node: usize) -> bool {
+        self.node_map.contains(&data_node)
+    }
+
+    /// Size of the residual graph induced by this embedding in `graph`
+    /// (number of data edges strictly after the last matched edge).
+    #[inline]
+    pub fn residual_size(&self, graph: &TemporalGraph) -> usize {
+        graph.edge_count() - self.last_edge_idx - 1
+    }
+}
+
+/// Enumerates all embeddings of `pattern` in `graph`, up to `cap` results.
+///
+/// `cap` bounds the work on pathological data graphs (many repeated labels); pass
+/// `usize::MAX` for exhaustive enumeration. Results are in lexicographic order of the
+/// matched data-edge indices.
+pub fn find_embeddings(
+    pattern: &TemporalPattern,
+    graph: &TemporalGraph,
+    cap: usize,
+) -> Vec<Embedding> {
+    let mut out = Vec::new();
+    if pattern.edge_count() == 0 || pattern.edge_count() > graph.edge_count() || cap == 0 {
+        return out;
+    }
+    let mut node_map = vec![usize::MAX; pattern.node_count()];
+    let mut used = vec![false; graph.node_count()];
+    recurse(pattern, graph, 0, 0, &mut node_map, &mut used, cap, &mut out);
+    out
+}
+
+/// Returns whether `graph` contains at least one match of `pattern` (early exit).
+pub fn contains_pattern(pattern: &TemporalPattern, graph: &TemporalGraph) -> bool {
+    !find_embeddings(pattern, graph, 1).is_empty()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn recurse(
+    pattern: &TemporalPattern,
+    graph: &TemporalGraph,
+    edge_idx: usize,
+    start: usize,
+    node_map: &mut Vec<usize>,
+    used: &mut Vec<bool>,
+    cap: usize,
+    out: &mut Vec<Embedding>,
+) -> bool {
+    if edge_idx == pattern.edge_count() {
+        out.push(Embedding { node_map: node_map.clone(), last_edge_idx: start - 1 });
+        return out.len() >= cap;
+    }
+    let p_edge = pattern.edges()[edge_idx];
+    let want_src_label = pattern.label(p_edge.src);
+    let want_dst_label = pattern.label(p_edge.dst);
+    for data_idx in start..graph.edge_count() {
+        let d_edge = graph.edge(data_idx);
+        if graph.label(d_edge.src) != want_src_label || graph.label(d_edge.dst) != want_dst_label {
+            continue;
+        }
+        // Bind source endpoint.
+        let src_prebound = node_map[p_edge.src] != usize::MAX;
+        if src_prebound {
+            if node_map[p_edge.src] != d_edge.src {
+                continue;
+            }
+        } else if used[d_edge.src] {
+            continue;
+        }
+        // Bind destination endpoint, handling pattern self-loops.
+        let dst_prebound = node_map[p_edge.dst] != usize::MAX || p_edge.dst == p_edge.src;
+        let expected_dst = if p_edge.dst == p_edge.src { d_edge.src } else { node_map[p_edge.dst] };
+        if dst_prebound {
+            if expected_dst != d_edge.dst {
+                continue;
+            }
+        } else if used[d_edge.dst] || d_edge.dst == d_edge.src {
+            continue;
+        }
+
+        if !src_prebound {
+            node_map[p_edge.src] = d_edge.src;
+            used[d_edge.src] = true;
+        }
+        if !dst_prebound {
+            node_map[p_edge.dst] = d_edge.dst;
+            used[d_edge.dst] = true;
+        }
+        let full = recurse(pattern, graph, edge_idx + 1, data_idx + 1, node_map, used, cap, out);
+        if !dst_prebound {
+            used[node_map[p_edge.dst]] = false;
+            node_map[p_edge.dst] = usize::MAX;
+        }
+        if !src_prebound {
+            used[node_map[p_edge.src]] = false;
+            node_map[p_edge.src] = usize::MAX;
+        }
+        if full {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::label::Label;
+
+    fn l(i: u32) -> Label {
+        Label(i)
+    }
+
+    /// Data graph: A0 -> B1 @1, B1 -> C2 @2, A0 -> B3 @3, B3 -> C2 @4
+    fn data_graph() -> TemporalGraph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(l(0));
+        let b1 = b.add_node(l(1));
+        let c = b.add_node(l(2));
+        let b3 = b.add_node(l(1));
+        b.add_edge(a, b1, 1).unwrap();
+        b.add_edge(b1, c, 2).unwrap();
+        b.add_edge(a, b3, 3).unwrap();
+        b.add_edge(b3, c, 4).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn finds_all_embeddings_of_a_two_edge_pattern() {
+        let g = data_graph();
+        let p = TemporalPattern::single_edge(l(0), l(1)).grow_forward(1, l(2)).unwrap();
+        let embeddings = find_embeddings(&p, &g, usize::MAX);
+        // A->B1->C (edges 0,1), A->B1 then B3->C? no: B1 != B3. A->B3->C (edges 2,3),
+        // and A->B1 (edge 0) cannot pair with edge 3 because nodes differ.
+        assert_eq!(embeddings.len(), 2);
+        assert_eq!(embeddings[0].node_map, vec![0, 1, 2]);
+        assert_eq!(embeddings[0].last_edge_idx, 1);
+        assert_eq!(embeddings[1].node_map, vec![0, 3, 2]);
+        assert_eq!(embeddings[1].last_edge_idx, 3);
+    }
+
+    #[test]
+    fn temporal_order_constrains_matches() {
+        let g = data_graph();
+        // Pattern: B -> C @1, A -> B @2 — requires an A->B edge after a B->C edge on the
+        // same B node; B1's A->B edge (idx 0) precedes its B->C edge, B3's A->B (idx 2)
+        // precedes its B->C (idx 3). So no match.
+        let p = TemporalPattern::single_edge(l(1), l(2)).grow_backward(l(0), 0).unwrap();
+        assert!(find_embeddings(&p, &g, usize::MAX).is_empty());
+        assert!(!contains_pattern(&p, &g));
+    }
+
+    #[test]
+    fn one_edge_pattern_matches_every_compatible_edge() {
+        let g = data_graph();
+        let p = TemporalPattern::single_edge(l(0), l(1));
+        let embeddings = find_embeddings(&p, &g, usize::MAX);
+        assert_eq!(embeddings.len(), 2);
+        assert_eq!(embeddings[0].last_edge_idx, 0);
+        assert_eq!(embeddings[1].last_edge_idx, 2);
+    }
+
+    #[test]
+    fn cap_limits_enumeration() {
+        let g = data_graph();
+        let p = TemporalPattern::single_edge(l(0), l(1));
+        assert_eq!(find_embeddings(&p, &g, 1).len(), 1);
+    }
+
+    #[test]
+    fn injectivity_is_enforced() {
+        // Pattern with two distinct B nodes both fed by A.
+        let p = TemporalPattern::single_edge(l(0), l(1)).grow_forward(0, l(1)).unwrap();
+        let g = data_graph();
+        let embeddings = find_embeddings(&p, &g, usize::MAX);
+        // Only the embedding using B1 (edge 0) then B3 (edge 2): distinct nodes.
+        assert_eq!(embeddings.len(), 1);
+        assert_eq!(embeddings[0].node_map, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn self_loop_patterns_match_self_loop_edges() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(l(0));
+        let c = b.add_node(l(1));
+        b.add_edge(a, a, 1).unwrap();
+        b.add_edge(a, c, 2).unwrap();
+        let g = b.build();
+        let p = TemporalPattern::single_self_loop(l(0));
+        let embeddings = find_embeddings(&p, &g, usize::MAX);
+        assert_eq!(embeddings.len(), 1);
+        assert_eq!(embeddings[0].node_map, vec![0]);
+    }
+
+    #[test]
+    fn residual_size_is_suffix_length() {
+        let g = data_graph();
+        let p = TemporalPattern::single_edge(l(0), l(1));
+        let embeddings = find_embeddings(&p, &g, usize::MAX);
+        assert_eq!(embeddings[0].residual_size(&g), 3);
+        assert_eq!(embeddings[1].residual_size(&g), 1);
+    }
+}

@@ -1,0 +1,245 @@
+//! Sequence-based temporal subgraph test (Section 4.3, Lemma 5, Appendix J).
+//!
+//! Deciding `g1 ⊆t g2` is NP-complete in general (Proposition 3), but the total edge
+//! order lets TGMiner use a light-weight algorithm:
+//!
+//! 1. enumerate injective, label-preserving node mappings `fs` witnessed by
+//!    `nodeseq(g1) ⊑ enhseq(g2)`;
+//! 2. for each mapping, test `fs(edgeseq(g1)) ⊑ edgeseq(g2)` with a linear greedy scan.
+//!
+//! The enumeration is pruned as in Appendix J: a label-sequence pre-test, local
+//! information (in/out degree) checks while extending a mapping, and prefix pruning
+//! (memoising mapping prefixes that already failed).
+
+use crate::pattern::TemporalPattern;
+use crate::sequence::{edge_seq, enhanced_seq, labels_of, node_seq, SeqNode};
+use crate::subseq::is_subsequence;
+use std::collections::HashSet;
+
+/// Counters describing how much work a single temporal subgraph test performed.
+/// Used by the efficiency experiments to attribute overhead.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SeqTestStats {
+    /// Number of complete candidate node mappings that were enumerated.
+    pub mappings_tried: u64,
+    /// Number of partial mappings discarded by the degree (local information) check.
+    pub degree_pruned: u64,
+    /// Number of partial mappings discarded by prefix memoisation.
+    pub prefix_pruned: u64,
+}
+
+/// Returns whether `g1 ⊆t g2` using the sequence-based algorithm.
+pub fn is_temporal_subgraph(g1: &TemporalPattern, g2: &TemporalPattern) -> bool {
+    is_temporal_subgraph_with_stats(g1, g2, &mut SeqTestStats::default())
+}
+
+/// Like [`is_temporal_subgraph`] but accumulates work counters into `stats`.
+pub fn is_temporal_subgraph_with_stats(
+    g1: &TemporalPattern,
+    g2: &TemporalPattern,
+    stats: &mut SeqTestStats,
+) -> bool {
+    if g1.edge_count() > g2.edge_count() || g1.node_count() > g2.node_count() {
+        return false;
+    }
+    let nseq1 = node_seq(g1);
+    let enh2 = enhanced_seq(g2);
+    // Label sequence pre-test (Appendix J): ignore node identity, compare label sequences.
+    if !is_subsequence(&labels_of(&nseq1), &labels_of(&enh2)) {
+        return false;
+    }
+    let eseq1 = edge_seq(g1);
+    let eseq2 = edge_seq(g2);
+
+    let degrees1: Vec<(usize, usize)> = (0..g1.node_count())
+        .map(|v| (g1.out_degree(v), g1.in_degree(v)))
+        .collect();
+    let degrees2: Vec<(usize, usize)> = (0..g2.node_count())
+        .map(|v| (g2.out_degree(v), g2.in_degree(v)))
+        .collect();
+
+    let mut search = MappingSearch {
+        nseq1: &nseq1,
+        enh2: &enh2,
+        eseq1: &eseq1,
+        eseq2: &eseq2,
+        degrees1: &degrees1,
+        degrees2: &degrees2,
+        node_map: vec![usize::MAX; g1.node_count()],
+        used: vec![false; g2.node_count()],
+        failed_prefixes: HashSet::new(),
+        stats,
+    };
+    search.extend(0, 0)
+}
+
+struct MappingSearch<'a> {
+    nseq1: &'a [SeqNode],
+    enh2: &'a [SeqNode],
+    eseq1: &'a [(usize, usize)],
+    eseq2: &'a [(usize, usize)],
+    degrees1: &'a [(usize, usize)],
+    degrees2: &'a [(usize, usize)],
+    /// Partial node mapping g1-node -> g2-node (usize::MAX = unmapped).
+    node_map: Vec<usize>,
+    /// Which g2 nodes are already used (injectivity).
+    used: Vec<bool>,
+    /// Prefix pruning: `(next g1 position, enh2 start position, last mapped g2 node)`
+    /// states that already failed.
+    failed_prefixes: HashSet<(usize, usize, usize)>,
+    stats: &'a mut SeqTestStats,
+}
+
+impl MappingSearch<'_> {
+    /// Tries to map `nseq1[i..]` into `enh2[from..]`; returns `true` on overall success.
+    fn extend(&mut self, i: usize, from: usize) -> bool {
+        if i == self.nseq1.len() {
+            self.stats.mappings_tried += 1;
+            return self.edge_subsequence_holds();
+        }
+        let last_mapped = if i == 0 {
+            usize::MAX
+        } else {
+            self.node_map[self.nseq1[i - 1].node]
+        };
+        let key = (i, from, last_mapped);
+        if self.failed_prefixes.contains(&key) {
+            self.stats.prefix_pruned += 1;
+            return false;
+        }
+        let want = self.nseq1[i];
+        for pos in from..self.enh2.len() {
+            let candidate = self.enh2[pos];
+            if candidate.label != want.label || self.used[candidate.node] {
+                continue;
+            }
+            // Local information match: the data node must have at least the pattern
+            // node's out/in degree, otherwise the edge mapping cannot exist.
+            let (p_out, p_in) = self.degrees1[want.node];
+            let (d_out, d_in) = self.degrees2[candidate.node];
+            if d_out < p_out || d_in < p_in {
+                self.stats.degree_pruned += 1;
+                continue;
+            }
+            self.node_map[want.node] = candidate.node;
+            self.used[candidate.node] = true;
+            let ok = self.extend(i + 1, pos + 1);
+            self.used[candidate.node] = false;
+            self.node_map[want.node] = usize::MAX;
+            if ok {
+                return true;
+            }
+        }
+        self.failed_prefixes.insert(key);
+        false
+    }
+
+    /// Greedy check that `fs(edgeseq(g1)) ⊑ edgeseq(g2)` for the complete mapping.
+    fn edge_subsequence_holds(&self) -> bool {
+        let mut cursor = 0usize;
+        'outer: for &(src, dst) in self.eseq1 {
+            let want = (self.node_map[src], self.node_map[dst]);
+            while cursor < self.eseq2.len() {
+                let have = self.eseq2[cursor];
+                cursor += 1;
+                if have == want {
+                    continue 'outer;
+                }
+            }
+            return false;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Label;
+
+    fn l(i: u32) -> Label {
+        Label(i)
+    }
+
+    /// The paper's Figure 3: G2 (3 edges) is a temporal subgraph of G1.
+    #[test]
+    fn pattern_is_subgraph_of_its_extension() {
+        let small = TemporalPattern::single_edge(l(0), l(1)).grow_forward(1, l(2)).unwrap();
+        let big = small.clone().grow_backward(l(3), 0).unwrap().grow_inward(0, 1).unwrap();
+        assert!(is_temporal_subgraph(&small, &big));
+        assert!(!is_temporal_subgraph(&big, &small));
+    }
+
+    #[test]
+    fn every_pattern_is_a_subgraph_of_itself() {
+        let p = TemporalPattern::single_edge(l(0), l(1))
+            .grow_forward(1, l(2))
+            .unwrap()
+            .grow_inward(2, 0)
+            .unwrap();
+        assert!(is_temporal_subgraph(&p, &p));
+    }
+
+    #[test]
+    fn temporal_order_matters() {
+        // g_a: A->B then B->C ; g_b: B->C then A->B. Same structure, opposite order.
+        let g_a = TemporalPattern::single_edge(l(0), l(1)).grow_forward(1, l(2)).unwrap();
+        let g_b = TemporalPattern::single_edge(l(1), l(2)).grow_backward(l(0), 0).unwrap();
+        assert!(!is_temporal_subgraph(&g_a, &g_b));
+        assert!(!is_temporal_subgraph(&g_b, &g_a));
+    }
+
+    #[test]
+    fn label_mismatch_is_rejected_quickly() {
+        let g1 = TemporalPattern::single_edge(l(7), l(8));
+        let g2 = TemporalPattern::single_edge(l(0), l(1)).grow_forward(1, l(2)).unwrap();
+        assert!(!is_temporal_subgraph(&g1, &g2));
+    }
+
+    #[test]
+    fn multi_edge_counts_must_be_respected() {
+        // g1 has two A->B edges, g2 only one.
+        let g1 = TemporalPattern::single_edge(l(0), l(1)).grow_inward(0, 1).unwrap();
+        let g2 = TemporalPattern::single_edge(l(0), l(1)).grow_forward(1, l(2)).unwrap();
+        assert!(!is_temporal_subgraph(&g1, &g2));
+        let g3 = TemporalPattern::single_edge(l(0), l(1)).grow_inward(0, 1).unwrap();
+        assert!(is_temporal_subgraph(&g1, &g3));
+    }
+
+    #[test]
+    fn figure9_example_holds() {
+        // g1: B(1)->A(2) @1, A(2)->B(3) @2, E(4)->B(3) @3
+        let g1 = TemporalPattern::single_edge(l(1), l(0))
+            .grow_forward(1, l(1))
+            .unwrap()
+            .grow_backward(l(4), 2)
+            .unwrap();
+        // g2 embeds g1 with extra edges before/between, including another B node and a
+        // C node, loosely following Figure 9.
+        let g2 = TemporalPattern::single_edge(l(1), l(0)) // B1 -> A2 @1
+            .grow_forward(0, l(2)) // B1 -> C @2
+            .unwrap()
+            .grow_forward(1, l(1)) // A2 -> B(new) @3
+            .unwrap()
+            .grow_backward(l(4), 3) // E -> B @4
+            .unwrap();
+        assert!(is_temporal_subgraph(&g1, &g2));
+    }
+
+    #[test]
+    fn requires_injective_node_mapping() {
+        // g1 needs two distinct B nodes; g2 has only one.
+        let g1 = TemporalPattern::single_edge(l(0), l(1)).grow_forward(0, l(1)).unwrap();
+        let g2 = TemporalPattern::single_edge(l(0), l(1)).grow_inward(0, 1).unwrap();
+        assert!(!is_temporal_subgraph(&g1, &g2));
+    }
+
+    #[test]
+    fn stats_are_accumulated() {
+        let g1 = TemporalPattern::single_edge(l(0), l(1));
+        let g2 = TemporalPattern::single_edge(l(0), l(1)).grow_forward(1, l(2)).unwrap();
+        let mut stats = SeqTestStats::default();
+        assert!(is_temporal_subgraph_with_stats(&g1, &g2, &mut stats));
+        assert!(stats.mappings_tried >= 1);
+    }
+}

@@ -1,0 +1,143 @@
+//! Sequence-based temporal graph representation (Section 4.3).
+//!
+//! A temporal graph pattern can be encoded by three sequences, all derived from a
+//! traversal of the edges in timestamp order:
+//!
+//! * `nodeseq(g)` — labeled nodes ordered by first-visit time, each node once;
+//! * `edgeseq(g)` — edges ordered by timestamp, written as `(id(u), id(v))`;
+//! * `enhseq(g)`  — the *enhanced node sequence*: while processing each edge `(u, v)`,
+//!   `u` is appended unless it was the last node appended or the source of the previous
+//!   edge, and `v` is always appended. Nodes may appear multiple times.
+//!
+//! Lemma 5 shows `g1 ⊆t g2` iff there is an injective node mapping witnessed by
+//! `nodeseq(g1) ⊑ enhseq(g2)` under which `edgeseq(g1)` (rewritten through the mapping)
+//! is a subsequence of `edgeseq(g2)`.
+
+use crate::label::Label;
+use crate::pattern::TemporalPattern;
+
+/// One entry of a node sequence: a pattern-node id and its label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SeqNode {
+    /// Pattern-node id inside its own pattern.
+    pub node: usize,
+    /// Label of that node.
+    pub label: Label,
+}
+
+/// The node sequence `nodeseq(g)`: nodes by first-visit order, each exactly once.
+///
+/// For canonical patterns first-visit order coincides with node-id order.
+pub fn node_seq(pattern: &TemporalPattern) -> Vec<SeqNode> {
+    let mut seen = vec![false; pattern.node_count()];
+    let mut seq = Vec::with_capacity(pattern.node_count());
+    for edge in pattern.edges() {
+        for node in [edge.src, edge.dst] {
+            if !seen[node] {
+                seen[node] = true;
+                seq.push(SeqNode { node, label: pattern.label(node) });
+            }
+        }
+    }
+    seq
+}
+
+/// The edge sequence `edgeseq(g)`: `(src, dst)` pairs in timestamp order.
+pub fn edge_seq(pattern: &TemporalPattern) -> Vec<(usize, usize)> {
+    pattern.edges().iter().map(|e| (e.src, e.dst)).collect()
+}
+
+/// The enhanced node sequence `enhseq(g)` described in Section 4.3.
+pub fn enhanced_seq(pattern: &TemporalPattern) -> Vec<SeqNode> {
+    let mut seq: Vec<SeqNode> = Vec::with_capacity(pattern.edge_count() * 2);
+    let mut prev_source: Option<usize> = None;
+    for edge in pattern.edges() {
+        let last_added = seq.last().map(|s| s.node);
+        let skip_src = last_added == Some(edge.src) || prev_source == Some(edge.src);
+        if !skip_src {
+            seq.push(SeqNode { node: edge.src, label: pattern.label(edge.src) });
+        }
+        seq.push(SeqNode { node: edge.dst, label: pattern.label(edge.dst) });
+        prev_source = Some(edge.src);
+    }
+    seq
+}
+
+/// Projects a node sequence to its labels (used by the label-sequence pruning test).
+pub fn labels_of(seq: &[SeqNode]) -> Vec<Label> {
+    seq.iter().map(|s| s.label).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> Label {
+        Label(i)
+    }
+
+    /// Build the paper's Figure 9 example `g1`:
+    /// edges: B(1)->A(2) @1, A(2)->B(3) @2, E(4)->B(3) @3  (labels B,A,B,E)
+    fn figure9_g1() -> TemporalPattern {
+        TemporalPattern::single_edge(l(1), l(0)) // B -> A
+            .grow_forward(1, l(1)) // A -> B(new)
+            .unwrap()
+            .grow_backward(l(4), 2) // E(new) -> B
+            .unwrap()
+    }
+
+    #[test]
+    fn node_seq_lists_nodes_once_in_first_visit_order() {
+        let g1 = figure9_g1();
+        let seq = node_seq(&g1);
+        let nodes: Vec<usize> = seq.iter().map(|s| s.node).collect();
+        assert_eq!(nodes, vec![0, 1, 2, 3]);
+        let labels: Vec<Label> = labels_of(&seq);
+        assert_eq!(labels, vec![l(1), l(0), l(1), l(4)]);
+    }
+
+    #[test]
+    fn edge_seq_is_in_timestamp_order() {
+        let g1 = figure9_g1();
+        assert_eq!(edge_seq(&g1), vec![(0, 1), (1, 2), (3, 2)]);
+    }
+
+    #[test]
+    fn enhanced_seq_skips_repeated_sources() {
+        // Pattern: A->B @1, A->C @2. Source A of edge 2 equals source of edge 1 => skipped.
+        let p = TemporalPattern::single_edge(l(0), l(1)).grow_forward(0, l(2)).unwrap();
+        let seq = enhanced_seq(&p);
+        let nodes: Vec<usize> = seq.iter().map(|s| s.node).collect();
+        assert_eq!(nodes, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn enhanced_seq_skips_source_equal_to_last_added() {
+        // Pattern: A->B @1, B->C @2. Source B of edge 2 is the last added node => skipped.
+        let p = TemporalPattern::single_edge(l(0), l(1)).grow_forward(1, l(2)).unwrap();
+        let seq = enhanced_seq(&p);
+        let nodes: Vec<usize> = seq.iter().map(|s| s.node).collect();
+        assert_eq!(nodes, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn enhanced_seq_repeats_revisited_nodes() {
+        // Pattern: A->B @1, C->B @2, A->C @3: the source A of edge 3 must be re-added.
+        let p = TemporalPattern::single_edge(l(0), l(1))
+            .grow_backward(l(2), 1)
+            .unwrap()
+            .grow_inward(0, 2)
+            .unwrap();
+        let seq = enhanced_seq(&p);
+        let nodes: Vec<usize> = seq.iter().map(|s| s.node).collect();
+        assert_eq!(nodes, vec![0, 1, 2, 1, 0, 2]);
+    }
+
+    #[test]
+    fn enhanced_seq_always_contains_node_seq_as_subsequence() {
+        let g1 = figure9_g1();
+        let nseq: Vec<(usize, Label)> = node_seq(&g1).iter().map(|s| (s.node, s.label)).collect();
+        let eseq: Vec<(usize, Label)> = enhanced_seq(&g1).iter().map(|s| (s.node, s.label)).collect();
+        assert!(crate::subseq::is_subsequence(&nseq, &eseq));
+    }
+}

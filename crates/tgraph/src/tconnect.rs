@@ -1,0 +1,149 @@
+//! T-connectivity (Section 2).
+//!
+//! A temporal graph is *T-connected* if, for every edge `(u, v, t)`, the edges with
+//! timestamps smaller than `t` form a connected (undirected) graph. Equivalently, every
+//! prefix of the edge sequence (in timestamp order) induces a connected graph. TGMiner
+//! restricts its search to T-connected patterns: consecutive growth keeps them connected
+//! and any non T-connected graph decomposes into T-connected components.
+
+use crate::graph::TemporalGraph;
+use crate::pattern::TemporalPattern;
+
+/// Union-find over node ids, used for incremental connectivity.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self { parent: (0..n).collect() }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    /// Unions the sets of `a` and `b`; returns `true` if they were previously disjoint.
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        self.parent[ra] = rb;
+        true
+    }
+}
+
+/// Returns whether `graph` is T-connected.
+///
+/// The empty graph and single-edge graphs are T-connected. Isolated nodes (nodes with no
+/// incident edges) are ignored, mirroring the paper where graphs are edge-induced.
+pub fn is_t_connected(graph: &TemporalGraph) -> bool {
+    prefixes_connected(graph.node_count(), graph.edges().iter().map(|e| (e.src, e.dst)))
+}
+
+/// Returns whether a pattern is T-connected. Patterns built through consecutive growth
+/// are T-connected by construction; this is the independent check used in tests and by
+/// the pattern-space property tests.
+pub fn is_pattern_t_connected(pattern: &TemporalPattern) -> bool {
+    prefixes_connected(
+        pattern.node_count(),
+        pattern.edges().iter().map(|e| (e.src, e.dst)),
+    )
+}
+
+/// Core check: process edges in temporal order and verify every prefix is connected.
+fn prefixes_connected(node_count: usize, edges: impl Iterator<Item = (usize, usize)>) -> bool {
+    let mut uf = UnionFind::new(node_count);
+    let mut touched = 0usize; // number of distinct nodes incident to processed edges
+    let mut components = 0usize; // components among touched nodes
+    let mut seen = vec![false; node_count];
+    for (src, dst) in edges {
+        // The prefix *before* this edge must already be connected.
+        if touched > 0 && components > 1 {
+            return false;
+        }
+        for node in [src, dst] {
+            if !seen[node] {
+                seen[node] = true;
+                touched += 1;
+                components += 1;
+            }
+        }
+        if src != dst && uf.union(src, dst) {
+            components -= 1;
+        }
+    }
+    // The full graph must be connected as well (it is a prefix of itself plus the
+    // requirement used throughout the paper that patterns are connected).
+    components <= 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+    use crate::label::Label;
+
+    fn graph_from_edges(node_count: usize, edges: &[(usize, usize, u64)]) -> TemporalGraph {
+        let mut b = GraphBuilder::new();
+        for i in 0..node_count {
+            b.add_node(Label(i as u32));
+        }
+        for &(s, d, t) in edges {
+            b.add_edge(s, d, t).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn empty_and_single_edge_graphs_are_t_connected() {
+        let empty = graph_from_edges(2, &[]);
+        assert!(is_t_connected(&empty));
+        let single = graph_from_edges(2, &[(0, 1, 1)]);
+        assert!(is_t_connected(&single));
+    }
+
+    #[test]
+    fn paper_figure3_g1_is_t_connected() {
+        // A chain that always extends from already-visited nodes.
+        let g = graph_from_edges(4, &[(0, 1, 1), (1, 2, 2), (0, 1, 3), (2, 3, 4)]);
+        assert!(is_t_connected(&g));
+    }
+
+    #[test]
+    fn disconnected_prefix_is_rejected() {
+        // Edge at ts=5 sees a disconnected prefix {0-1} and {2-3}.
+        let g = graph_from_edges(4, &[(0, 1, 1), (2, 3, 2), (1, 2, 5)]);
+        assert!(!is_t_connected(&g));
+    }
+
+    #[test]
+    fn disconnected_final_graph_is_rejected() {
+        let g = graph_from_edges(4, &[(0, 1, 1), (2, 3, 2)]);
+        assert!(!is_t_connected(&g));
+    }
+
+    #[test]
+    fn self_loops_do_not_break_connectivity() {
+        let g = graph_from_edges(2, &[(0, 0, 1), (0, 1, 2)]);
+        assert!(is_t_connected(&g));
+    }
+
+    #[test]
+    fn grown_patterns_are_t_connected() {
+        let p = TemporalPattern::single_edge(Label(0), Label(1))
+            .grow_forward(1, Label(2))
+            .unwrap()
+            .grow_backward(Label(3), 0)
+            .unwrap()
+            .grow_inward(2, 3)
+            .unwrap();
+        assert!(is_pattern_t_connected(&p));
+    }
+}

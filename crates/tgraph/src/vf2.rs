@@ -1,0 +1,154 @@
+//! Modified VF2 temporal subgraph test (baseline `PruneVF2` in Section 6.1).
+//!
+//! This is an intentionally more generic (and slower) subgraph-isomorphism style search:
+//! it maps pattern nodes to data-pattern nodes one at a time using only label and degree
+//! feasibility (as VF2 does for non-temporal graphs), and defers the temporal-order check
+//! to a final edge-subsequence verification. It serves two purposes: it is the `PruneVF2`
+//! baseline of the evaluation, and it cross-validates the sequence-based algorithm
+//! (property tests assert both implementations agree).
+
+use crate::pattern::TemporalPattern;
+
+/// Returns whether `g1 ⊆t g2` using a VF2-style node-by-node backtracking search.
+pub fn vf2_temporal_subgraph(g1: &TemporalPattern, g2: &TemporalPattern) -> bool {
+    if g1.edge_count() > g2.edge_count() || g1.node_count() > g2.node_count() {
+        return false;
+    }
+    let degrees1: Vec<(usize, usize)> = (0..g1.node_count())
+        .map(|v| (g1.out_degree(v), g1.in_degree(v)))
+        .collect();
+    let degrees2: Vec<(usize, usize)> = (0..g2.node_count())
+        .map(|v| (g2.out_degree(v), g2.in_degree(v)))
+        .collect();
+    let mut state = Vf2State {
+        g1,
+        g2,
+        degrees1,
+        degrees2,
+        node_map: vec![usize::MAX; g1.node_count()],
+        used: vec![false; g2.node_count()],
+    };
+    state.assign(0)
+}
+
+struct Vf2State<'a> {
+    g1: &'a TemporalPattern,
+    g2: &'a TemporalPattern,
+    degrees1: Vec<(usize, usize)>,
+    degrees2: Vec<(usize, usize)>,
+    node_map: Vec<usize>,
+    used: Vec<bool>,
+}
+
+impl Vf2State<'_> {
+    fn assign(&mut self, next: usize) -> bool {
+        if next == self.g1.node_count() {
+            return self.order_preserving_edge_mapping_exists();
+        }
+        for candidate in 0..self.g2.node_count() {
+            if self.used[candidate] || self.g2.label(candidate) != self.g1.label(next) {
+                continue;
+            }
+            let (p_out, p_in) = self.degrees1[next];
+            let (d_out, d_in) = self.degrees2[candidate];
+            if d_out < p_out || d_in < p_in {
+                continue;
+            }
+            if !self.partial_edges_feasible(next, candidate) {
+                continue;
+            }
+            self.node_map[next] = candidate;
+            self.used[candidate] = true;
+            if self.assign(next + 1) {
+                return true;
+            }
+            self.used[candidate] = false;
+            self.node_map[next] = usize::MAX;
+        }
+        false
+    }
+
+    /// VF2-style feasibility: every pattern edge between already-mapped nodes must have
+    /// at least one corresponding data edge (ignoring order for now).
+    fn partial_edges_feasible(&self, node: usize, candidate: usize) -> bool {
+        for edge in self.g1.edges() {
+            let (s, d) = (edge.src, edge.dst);
+            let involves = s == node || d == node;
+            if !involves {
+                continue;
+            }
+            let ms = if s == node { candidate } else { self.node_map[s] };
+            let md = if d == node { candidate } else { self.node_map[d] };
+            if ms == usize::MAX || md == usize::MAX {
+                continue;
+            }
+            if !self.g2.edges().iter().any(|e| e.src == ms && e.dst == md) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Final verification: the mapped edge sequence must embed into g2's edge sequence
+    /// preserving the total order (a greedy subsequence scan).
+    fn order_preserving_edge_mapping_exists(&self) -> bool {
+        let mut cursor = 0usize;
+        'outer: for edge in self.g1.edges() {
+            let want = (self.node_map[edge.src], self.node_map[edge.dst]);
+            while cursor < self.g2.edge_count() {
+                let have = self.g2.edges()[cursor];
+                cursor += 1;
+                if (have.src, have.dst) == want {
+                    continue 'outer;
+                }
+            }
+            return false;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::Label;
+    use crate::seqtest::is_temporal_subgraph;
+
+    fn l(i: u32) -> Label {
+        Label(i)
+    }
+
+    #[test]
+    fn agrees_with_sequence_test_on_simple_cases() {
+        let small = TemporalPattern::single_edge(l(0), l(1)).grow_forward(1, l(2)).unwrap();
+        let big = small.clone().grow_backward(l(3), 0).unwrap().grow_inward(0, 1).unwrap();
+        assert!(vf2_temporal_subgraph(&small, &big));
+        assert!(!vf2_temporal_subgraph(&big, &small));
+        assert_eq!(vf2_temporal_subgraph(&small, &big), is_temporal_subgraph(&small, &big));
+    }
+
+    #[test]
+    fn rejects_order_violation() {
+        let g_a = TemporalPattern::single_edge(l(0), l(1)).grow_forward(1, l(2)).unwrap();
+        let g_b = TemporalPattern::single_edge(l(1), l(2)).grow_backward(l(0), 0).unwrap();
+        assert!(!vf2_temporal_subgraph(&g_a, &g_b));
+    }
+
+    #[test]
+    fn respects_multi_edge_multiplicity() {
+        let double = TemporalPattern::single_edge(l(0), l(1)).grow_inward(0, 1).unwrap();
+        let single = TemporalPattern::single_edge(l(0), l(1));
+        assert!(!vf2_temporal_subgraph(&double, &single));
+        assert!(vf2_temporal_subgraph(&single, &double));
+    }
+
+    #[test]
+    fn identity_holds() {
+        let p = TemporalPattern::single_edge(l(5), l(6))
+            .grow_forward(1, l(7))
+            .unwrap()
+            .grow_inward(2, 0)
+            .unwrap();
+        assert!(vf2_temporal_subgraph(&p, &p));
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for the temporal graph substrate.
+//!
+//! The key cross-validation is that the three independent temporal subgraph testers
+//! (sequence-based, VF2-style, graph-index join) agree on random inputs — this is the
+//! empirical counterpart of Lemma 5.
+
+use proptest::prelude::*;
+use tgraph::generator::{random_pattern, random_pattern_pair, random_t_connected_graph, RandomGraphSpec};
+use tgraph::gindex::gindex_temporal_subgraph;
+use tgraph::matching::find_embeddings;
+use tgraph::pattern::TemporalPattern;
+use tgraph::residual::ResidualSet;
+use tgraph::seqtest::is_temporal_subgraph;
+use tgraph::sequence::{enhanced_seq, node_seq};
+use tgraph::subseq::is_subsequence;
+use tgraph::tconnect::{is_pattern_t_connected, is_t_connected};
+use tgraph::vf2::vf2_temporal_subgraph;
+use tgraph::Label;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random T-connected graphs really are T-connected and convert to canonical patterns.
+    #[test]
+    fn generated_graphs_are_t_connected(seed in 0u64..10_000, nodes in 3usize..20, edges in 2usize..40) {
+        let g = random_t_connected_graph(seed, RandomGraphSpec { nodes, edges, label_alphabet: 6 });
+        prop_assert!(is_t_connected(&g));
+        let p = TemporalPattern::from_graph(&g).unwrap();
+        prop_assert!(p.is_canonical());
+        prop_assert_eq!(p.edge_count(), g.edge_count());
+    }
+
+    /// The three temporal subgraph testers agree on random (pattern, host) pairs where
+    /// the host extends the pattern — the positive direction.
+    #[test]
+    fn subgraph_testers_agree_on_positive_pairs(seed in 0u64..10_000, base in 1usize..6, extra in 0usize..6) {
+        let (small, big) = random_pattern_pair(seed, base, extra, 4);
+        prop_assert!(is_temporal_subgraph(&small, &big));
+        prop_assert!(vf2_temporal_subgraph(&small, &big));
+        prop_assert!(gindex_temporal_subgraph(&small, &big));
+    }
+
+    /// The three temporal subgraph testers agree on arbitrary (independent) pattern pairs,
+    /// where the answer may be either way.
+    #[test]
+    fn subgraph_testers_agree_on_arbitrary_pairs(s1 in 0u64..10_000, s2 in 0u64..10_000, e1 in 1usize..5, e2 in 1usize..7) {
+        let a = random_pattern(s1, e1, 3);
+        let b = random_pattern(s2, e2, 3);
+        let seq = is_temporal_subgraph(&a, &b);
+        let vf2 = vf2_temporal_subgraph(&a, &b);
+        let gi = gindex_temporal_subgraph(&a, &b);
+        prop_assert_eq!(seq, vf2, "sequence-based and VF2 testers disagree: {} vs {}", a, b);
+        prop_assert_eq!(seq, gi, "sequence-based and index-join testers disagree: {} vs {}", a, b);
+    }
+
+    /// nodeseq(g) is always a subsequence of enhseq(g) (self-consistency of the encodings).
+    #[test]
+    fn node_seq_embeds_in_enhanced_seq(seed in 0u64..10_000, edges in 1usize..10) {
+        let p = random_pattern(seed, edges, 5);
+        let nseq: Vec<(usize, Label)> = node_seq(&p).iter().map(|s| (s.node, s.label)).collect();
+        let eseq: Vec<(usize, Label)> = enhanced_seq(&p).iter().map(|s| (s.node, s.label)).collect();
+        prop_assert!(is_subsequence(&nseq, &eseq));
+    }
+
+    /// A pattern's parent (last edge removed) is always a temporal subgraph of the pattern,
+    /// and the pattern is never a subgraph of its strict parent.
+    #[test]
+    fn parent_is_subgraph_of_child(seed in 0u64..10_000, edges in 2usize..8) {
+        let p = random_pattern(seed, edges, 4);
+        let parent = p.parent().unwrap();
+        prop_assert!(is_temporal_subgraph(&parent, &p));
+        prop_assert!(!is_temporal_subgraph(&p, &parent));
+        prop_assert!(is_pattern_t_connected(&parent));
+    }
+
+    /// Growth never breaks canonical form or T-connectivity.
+    #[test]
+    fn random_growth_preserves_invariants(seed in 0u64..10_000, edges in 1usize..12) {
+        let p = random_pattern(seed, edges, 4);
+        prop_assert!(p.is_canonical());
+        prop_assert!(is_pattern_t_connected(&p));
+        prop_assert!(p.node_count() <= p.edge_count() + 1);
+    }
+
+    /// Every embedding returned by `find_embeddings` is a genuine match: labels agree,
+    /// the mapping is injective, and matched data edges appear in increasing order.
+    #[test]
+    fn embeddings_are_valid_matches(seed in 0u64..5_000, pedges in 1usize..4, nodes in 4usize..12, gedges in 4usize..30) {
+        let p = random_pattern(seed, pedges, 3);
+        let g = random_t_connected_graph(seed.wrapping_add(1), RandomGraphSpec { nodes, edges: gedges, label_alphabet: 3 });
+        let embeddings = find_embeddings(&p, &g, 200);
+        for emb in &embeddings {
+            // Labels preserved.
+            for (pn, &dn) in emb.node_map.iter().enumerate() {
+                prop_assert_eq!(p.label(pn), g.label(dn));
+            }
+            // Injective.
+            let mut sorted = emb.node_map.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), emb.node_map.len());
+            // Order-preserving edge mapping exists ending at last_edge_idx: verify greedily.
+            let mut cursor = 0usize;
+            let mut last = 0usize;
+            for pe in p.edges() {
+                let want = (emb.node_map[pe.src], emb.node_map[pe.dst]);
+                let mut found = None;
+                while cursor < g.edge_count() {
+                    let de = g.edge(cursor);
+                    cursor += 1;
+                    if (de.src, de.dst) == want {
+                        found = Some(cursor - 1);
+                        break;
+                    }
+                }
+                prop_assert!(found.is_some());
+                last = found.unwrap();
+            }
+            prop_assert!(last <= emb.last_edge_idx);
+        }
+    }
+
+    /// If an embedding exists, the pattern-level subgraph relation holds between the
+    /// pattern and the data graph's canonical pattern.
+    #[test]
+    fn embeddings_imply_subgraph_relation(seed in 0u64..5_000, pedges in 1usize..4) {
+        let g = random_t_connected_graph(seed, RandomGraphSpec { nodes: 8, edges: 15, label_alphabet: 3 });
+        let p = random_pattern(seed.wrapping_add(99), pedges, 3);
+        let host = TemporalPattern::from_graph(&g).unwrap();
+        let found = !find_embeddings(&p, &g, 1).is_empty();
+        prop_assert_eq!(found, is_temporal_subgraph(&p, &host));
+    }
+
+    /// Residual signatures are consistent with explicit linear-scan comparison.
+    #[test]
+    fn residual_signature_agrees_with_linear_scan(seed in 0u64..5_000, pedges in 1usize..4) {
+        let graphs: Vec<_> = (0..3)
+            .map(|i| random_t_connected_graph(seed.wrapping_add(i), RandomGraphSpec { nodes: 8, edges: 20, label_alphabet: 3 }))
+            .collect();
+        let p = random_pattern(seed.wrapping_add(7), pedges, 3);
+        let q = random_pattern(seed.wrapping_add(8), pedges, 3);
+        let set_of = |pat: &TemporalPattern| {
+            let per_graph: Vec<(usize, Vec<_>)> = graphs
+                .iter()
+                .enumerate()
+                .map(|(i, g)| (i, find_embeddings(pat, g, 500)))
+                .collect();
+            ResidualSet::from_embeddings(per_graph.iter().map(|(i, e)| (*i, e.as_slice())))
+        };
+        let sp = set_of(&p);
+        let sq = set_of(&q);
+        // Set equality (by construction identity) implies both comparisons agree.
+        prop_assert_eq!(sp == sq, sp.linear_scan_equal(&sq, &graphs));
+        if sp == sq {
+            prop_assert_eq!(sp.signature(&graphs), sq.signature(&graphs));
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Datacenter monitoring scenario (the paper's Example 2).
+//!
+//! Run with `cargo run --example datacenter`.
+//!
+//! Nodes are performance alerts (high CPU, slow queries, full table scans, disk errors)
+//! and edges are "alert A triggered alert B" dependencies with timestamps. We mine the
+//! temporal alert-propagation pattern that distinguishes *disk-failure* episodes from
+//! ordinary heavy-workload episodes, so that operators can query for disk failures
+//! instead of staring at low-level alerts.
+
+use behavior_query::tgminer::{mine, LogRatio, MinerConfig};
+use behavior_query::tgraph::{GraphBuilder, LabelInterner, TemporalGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A disk-failure episode: disk latency alerts precede database stalls, which then cause
+/// application timeouts; some unrelated CPU alerts fire too.
+fn disk_failure_episode(interner: &mut LabelInterner, rng: &mut StdRng) -> TemporalGraph {
+    let mut b = GraphBuilder::new();
+    let disk = b.add_node(interner.intern("alert:disk-latency"));
+    let smart = b.add_node(interner.intern("alert:smart-errors"));
+    let db_stall = b.add_node(interner.intern("alert:db-stall"));
+    let slow_q = b.add_node(interner.intern("alert:slow-queries"));
+    let timeout = b.add_node(interner.intern("alert:app-timeout"));
+    let cpu = b.add_node(interner.intern("alert:high-cpu"));
+    let mut ts = 0;
+    let mut next = |offset: u64| {
+        ts += offset;
+        ts
+    };
+    b.add_edge(smart, disk, next(rng.gen_range(1..3))).unwrap();
+    b.add_edge(disk, db_stall, next(rng.gen_range(1..3))).unwrap();
+    b.add_edge(db_stall, slow_q, next(rng.gen_range(1..3))).unwrap();
+    b.add_edge(slow_q, timeout, next(rng.gen_range(1..3))).unwrap();
+    b.add_edge(timeout, cpu, next(rng.gen_range(1..3))).unwrap();
+    b.build()
+}
+
+/// A heavy-workload episode: the same alert types appear, but the causality runs the
+/// other way (application load drives slow queries and disk latency).
+fn heavy_workload_episode(interner: &mut LabelInterner, rng: &mut StdRng) -> TemporalGraph {
+    let mut b = GraphBuilder::new();
+    let cpu = b.add_node(interner.intern("alert:high-cpu"));
+    let timeout = b.add_node(interner.intern("alert:app-timeout"));
+    let slow_q = b.add_node(interner.intern("alert:slow-queries"));
+    let db_stall = b.add_node(interner.intern("alert:db-stall"));
+    let disk = b.add_node(interner.intern("alert:disk-latency"));
+    let mut ts = 0;
+    let mut next = |offset: u64| {
+        ts += offset;
+        ts
+    };
+    b.add_edge(cpu, timeout, next(rng.gen_range(1..3))).unwrap();
+    b.add_edge(timeout, slow_q, next(rng.gen_range(1..3))).unwrap();
+    b.add_edge(slow_q, db_stall, next(rng.gen_range(1..3))).unwrap();
+    b.add_edge(db_stall, disk, next(rng.gen_range(1..3))).unwrap();
+    b.build()
+}
+
+fn main() {
+    let mut interner = LabelInterner::new();
+    let mut rng = StdRng::seed_from_u64(99);
+    let failures: Vec<TemporalGraph> =
+        (0..20).map(|_| disk_failure_episode(&mut interner, &mut rng)).collect();
+    let workloads: Vec<TemporalGraph> =
+        (0..20).map(|_| heavy_workload_episode(&mut interner, &mut rng)).collect();
+
+    let config = MinerConfig::default().with_max_edges(3);
+    let result = mine(&failures, &workloads, &LogRatio::default(), &config);
+    let best = result.best().expect("a discriminative alert pattern exists");
+
+    println!("Disk-failure behavior query (alert propagation pattern):");
+    for (t, edge) in best.pattern.edges().iter().enumerate() {
+        println!(
+            "  t{}: {} => {}",
+            t + 1,
+            interner.name_or_placeholder(best.pattern.label(edge.src)),
+            interner.name_or_placeholder(best.pattern.label(edge.dst)),
+        );
+    }
+    println!(
+        "score {:.2}, occurs in {:.0}% of disk-failure episodes and {:.0}% of workload episodes",
+        best.score,
+        best.pos_freq * 100.0,
+        best.neg_freq * 100.0
+    );
+    assert_eq!(best.neg_freq, 0.0);
+    println!("\nEven though both episode types raise the same alerts, only the temporal");
+    println!("propagation order separates them — a keyword query over alert names cannot.");
+}

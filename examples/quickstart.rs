@@ -1,0 +1,71 @@
+//! Quickstart: mine a discriminative temporal pattern from hand-built temporal graphs.
+//!
+//! Run with `cargo run --example quickstart`.
+//!
+//! Two positive graphs share the temporal chain `ssh -> bash -> tar` (a remote login that
+//! spawns a shell which archives files); the negative graphs contain the same entities
+//! but in an innocuous order. Only the temporal pattern separates them.
+
+use behavior_query::tgminer::{mine, InterestRanker, LogRatio, MinerConfig};
+use behavior_query::tgraph::{GraphBuilder, LabelInterner, TemporalGraph};
+
+/// Builds a toy "remote-archive" activity graph: sshd accepts a session, spawns a shell,
+/// the shell spawns tar, tar reads documents and writes an archive.
+fn positive(interner: &mut LabelInterner) -> TemporalGraph {
+    let mut b = GraphBuilder::new();
+    let sshd = b.add_node(interner.intern("proc:sshd"));
+    let shell = b.add_node(interner.intern("proc:bash"));
+    let tar = b.add_node(interner.intern("proc:tar"));
+    let docs = b.add_node(interner.intern("file:/home/hr/salaries.xlsx"));
+    let archive = b.add_node(interner.intern("file:/tmp/out.tar.gz"));
+    b.add_edge(sshd, shell, 10).unwrap();
+    b.add_edge(shell, tar, 20).unwrap();
+    b.add_edge(docs, tar, 30).unwrap();
+    b.add_edge(tar, archive, 40).unwrap();
+    b.build()
+}
+
+/// A benign graph touching the same entities in a harmless order (tar ran before the
+/// login, e.g. a scheduled backup, and never read the HR documents).
+fn negative(interner: &mut LabelInterner) -> TemporalGraph {
+    let mut b = GraphBuilder::new();
+    let sshd = b.add_node(interner.intern("proc:sshd"));
+    let shell = b.add_node(interner.intern("proc:bash"));
+    let tar = b.add_node(interner.intern("proc:tar"));
+    let archive = b.add_node(interner.intern("file:/tmp/out.tar.gz"));
+    b.add_edge(tar, archive, 5).unwrap();
+    b.add_edge(shell, tar, 15).unwrap();
+    b.add_edge(sshd, shell, 25).unwrap();
+    b.build()
+}
+
+fn main() {
+    let mut interner = LabelInterner::new();
+    let positives: Vec<TemporalGraph> = (0..3).map(|_| positive(&mut interner)).collect();
+    let negatives: Vec<TemporalGraph> = (0..3).map(|_| negative(&mut interner)).collect();
+
+    let config = MinerConfig::default().with_max_edges(4);
+    let result = mine(&positives, &negatives, &LogRatio::default(), &config);
+
+    println!("mined {} candidate patterns ({} patterns processed, {:?} elapsed)",
+        result.patterns.len(), result.stats.patterns_processed, result.stats.elapsed);
+
+    let ranker = InterestRanker::from_training(positives.iter().chain(negatives.iter()));
+    let top = ranker.top_queries(&result, 3);
+    for (rank, mined) in top.iter().enumerate() {
+        println!("\n#{rank} score={:.3} pos_freq={:.2} neg_freq={:.2}",
+            mined.score, mined.pos_freq, mined.neg_freq);
+        for (i, edge) in mined.pattern.edges().iter().enumerate() {
+            println!(
+                "  t{}: {} -> {}",
+                i + 1,
+                interner.name_or_placeholder(mined.pattern.label(edge.src)),
+                interner.name_or_placeholder(mined.pattern.label(edge.dst)),
+            );
+        }
+    }
+
+    let best = result.best().expect("found a pattern");
+    assert_eq!(best.neg_freq, 0.0, "the best pattern must not occur in benign activity");
+    println!("\nThe top pattern occurs in every suspicious session and never in benign activity.");
+}

@@ -1,0 +1,93 @@
+//! Urban computing scenario (the paper's Example 3).
+//!
+//! Run with `cargo run --example urban`.
+//!
+//! City-scale sensing fuses heterogeneous events (traffic jams, sickness reports, food
+//! production drops, pollution readings) into temporal graphs whose edges connect
+//! geographically related events over time. Domain experts want to ask a high-level
+//! question — "are these anomalies caused by river pollution?" — without hand-writing the
+//! low-level event dependencies. We mine the temporal event-cascade pattern that
+//! distinguishes pollution-driven weeks from ordinary congestion weeks.
+
+use behavior_query::tgminer::{mine, GTest, LogRatio, MinerConfig, ScoreFunction};
+use behavior_query::tgraph::{GraphBuilder, LabelInterner, TemporalGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A week where a river pollution incident drives the anomalies: pollution readings come
+/// first, then sickness reports downstream, then food-production drops, and finally
+/// traffic jams around hospitals.
+fn pollution_week(interner: &mut LabelInterner, rng: &mut StdRng) -> TemporalGraph {
+    let mut b = GraphBuilder::new();
+    let pollution = b.add_node(interner.intern("event:river-pollution"));
+    let sickness = b.add_node(interner.intern("event:sickness-spike"));
+    let food = b.add_node(interner.intern("event:food-yield-drop"));
+    let jam = b.add_node(interner.intern("event:traffic-jam"));
+    let festival = b.add_node(interner.intern("event:festival"));
+    let mut ts = 0u64;
+    let mut next = |r: &mut StdRng| {
+        ts += r.gen_range(1..4);
+        ts
+    };
+    b.add_edge(pollution, sickness, next(rng)).unwrap();
+    b.add_edge(sickness, food, next(rng)).unwrap();
+    b.add_edge(sickness, jam, next(rng)).unwrap();
+    // Unrelated city life keeps happening.
+    b.add_edge(festival, jam, next(rng)).unwrap();
+    b.build()
+}
+
+/// An ordinary congested week: the same event types occur but jams come first (rush-hour
+/// congestion), sickness is unrelated seasonal flu, and pollution readings follow traffic.
+fn congestion_week(interner: &mut LabelInterner, rng: &mut StdRng) -> TemporalGraph {
+    let mut b = GraphBuilder::new();
+    let jam = b.add_node(interner.intern("event:traffic-jam"));
+    let pollution = b.add_node(interner.intern("event:river-pollution"));
+    let sickness = b.add_node(interner.intern("event:sickness-spike"));
+    let festival = b.add_node(interner.intern("event:festival"));
+    let mut ts = 0u64;
+    let mut next = |r: &mut StdRng| {
+        ts += r.gen_range(1..4);
+        ts
+    };
+    b.add_edge(festival, jam, next(rng)).unwrap();
+    b.add_edge(jam, pollution, next(rng)).unwrap();
+    b.add_edge(jam, sickness, next(rng)).unwrap();
+    b.build()
+}
+
+fn main() {
+    let mut interner = LabelInterner::new();
+    let mut rng = StdRng::seed_from_u64(2026);
+    let polluted: Vec<TemporalGraph> =
+        (0..15).map(|_| pollution_week(&mut interner, &mut rng)).collect();
+    let ordinary: Vec<TemporalGraph> =
+        (0..15).map(|_| congestion_week(&mut interner, &mut rng)).collect();
+
+    // Mine with two different score functions to show they agree on the top pattern.
+    let config = MinerConfig::default().with_max_edges(3);
+    let by_log_ratio = mine(&polluted, &ordinary, &LogRatio::default(), &config);
+    let by_g_test = mine(&polluted, &ordinary, &GTest::default(), &config);
+
+    let best = by_log_ratio.best().expect("a pollution cascade pattern exists");
+    println!("Pollution-cascade behavior query:");
+    for (t, edge) in best.pattern.edges().iter().enumerate() {
+        println!(
+            "  t{}: {} ~> {}",
+            t + 1,
+            interner.name_or_placeholder(best.pattern.label(edge.src)),
+            interner.name_or_placeholder(best.pattern.label(edge.dst)),
+        );
+    }
+    println!(
+        "log-ratio score {:.2} (g-test would score it {:.2})",
+        best.score,
+        GTest::default().score(best.pos_freq, best.neg_freq)
+    );
+    assert_eq!(best.neg_freq, 0.0);
+    let g_best = by_g_test.best().unwrap();
+    assert_eq!(g_best.neg_freq, 0.0, "g-test should also surface a pollution-only cascade");
+    assert!((g_best.pos_freq - best.pos_freq).abs() < 1e-12);
+    println!("\nThe cascade pollution -> sickness -> (food drop | hospital jams) only exists in");
+    println!("pollution weeks; mining it automatically answers the experts' high-level question.");
+}

@@ -1,0 +1,17 @@
+//! # behavior-query — reproduction of "Behavior Query Discovery in System-Generated
+//! # Temporal Graphs" (TGMiner, VLDB 2015)
+//!
+//! This façade crate re-exports the public API of the member crates so examples and
+//! downstream users can depend on a single package:
+//!
+//! * [`tgraph`] — temporal graph data model, temporal subgraph tests, residual graphs.
+//! * [`syscall`] — synthetic syscall-log workload generator (training / test datasets).
+//! * [`tgminer`] — the discriminative temporal graph pattern miner and its baselines.
+//! * [`query`] — behavior-query formulation, search over monitoring graphs, evaluation.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
+
+pub use query;
+pub use syscall;
+pub use tgminer;
+pub use tgraph;
