@@ -12,10 +12,14 @@ fn bench_pattern_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig14_pattern_size");
     group.sample_size(10);
     for max_edges in [2usize, 3, 4, 5] {
-        group.bench_with_input(BenchmarkId::from_parameter(max_edges), &max_edges, |b, &size| {
-            let config = MinerVariant::TgMiner.config(size);
-            b.iter(|| mine(positives, negatives, &LogRatio::default(), &config));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(max_edges),
+            &max_edges,
+            |b, &size| {
+                let config = MinerVariant::TgMiner.config(size);
+                b.iter(|| mine(positives, negatives, &LogRatio::default(), &config));
+            },
+        );
     }
     group.finish();
 }

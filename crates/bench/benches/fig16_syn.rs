@@ -11,17 +11,21 @@ fn bench_syn(c: &mut Criterion) {
     group.sample_size(10);
     for k in [1usize, 2, 4] {
         let synthetic = training.replicate(k);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("SYN-{k}")), &k, |b, _| {
-            let config = MinerVariant::TgMiner.config(4);
-            b.iter(|| {
-                mine(
-                    synthetic.positives(Behavior::GzipDecompress),
-                    synthetic.negatives(),
-                    &LogRatio::default(),
-                    &config,
-                )
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("SYN-{k}")),
+            &k,
+            |b, _| {
+                let config = MinerVariant::TgMiner.config(4);
+                b.iter(|| {
+                    mine(
+                        synthetic.positives(Behavior::GzipDecompress),
+                        synthetic.negatives(),
+                        &LogRatio::default(),
+                        &config,
+                    )
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -11,7 +11,11 @@ fn bench_residual_equivalence(c: &mut Criterion) {
         .map(|seed| {
             random_t_connected_graph(
                 seed,
-                RandomGraphSpec { nodes: 30, edges: 120, label_alphabet: 6 },
+                RandomGraphSpec {
+                    nodes: 30,
+                    edges: 120,
+                    label_alphabet: 6,
+                },
             )
         })
         .collect();

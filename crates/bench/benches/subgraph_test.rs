@@ -10,24 +10,33 @@ use tgraph::seqtest::is_temporal_subgraph;
 use tgraph::vf2::vf2_temporal_subgraph;
 
 fn bench_subgraph_tests(c: &mut Criterion) {
-    let pairs: Vec<_> = (0..64).map(|seed| random_pattern_pair(seed, 5, 10, 6)).collect();
+    let pairs: Vec<_> = (0..64)
+        .map(|seed| random_pattern_pair(seed, 5, 10, 6))
+        .collect();
     let mut group = c.benchmark_group("subgraph_test");
     for (name, run) in [
-        ("sequence", (|a, b| is_temporal_subgraph(a, b)) as fn(&_, &_) -> bool),
+        (
+            "sequence",
+            (|a, b| is_temporal_subgraph(a, b)) as fn(&_, &_) -> bool,
+        ),
         ("vf2", |a, b| vf2_temporal_subgraph(a, b)),
         ("graph_index", |a, b| gindex_temporal_subgraph(a, b)),
     ] {
-        group.bench_with_input(BenchmarkId::new(name, "64 positive pairs"), &pairs, |b, pairs| {
-            b.iter(|| {
-                let mut hits = 0usize;
-                for (small, big) in pairs {
-                    if run(small, big) {
-                        hits += 1;
+        group.bench_with_input(
+            BenchmarkId::new(name, "64 positive pairs"),
+            &pairs,
+            |b, pairs| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    for (small, big) in pairs {
+                        if run(small, big) {
+                            hits += 1;
+                        }
                     }
-                }
-                hits
-            });
-        });
+                    hits
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -23,7 +23,10 @@ fn main() {
     let max_size = if scale == Scale::Tiny { 6 } else { 10 };
 
     let widths = [12, 12, 12];
-    println!("Figure 11: query accuracy vs. behavior query size (scale: {})", scale.name());
+    println!(
+        "Figure 11: query accuracy vs. behavior query size (scale: {})",
+        scale.name()
+    );
     print_header(&["query size", "precision", "recall"], &widths);
     for size in 1..=max_size {
         let options = QueryOptions::default().with_query_size(size);

@@ -22,7 +22,10 @@ fn main() {
     let options = QueryOptions::default();
 
     let widths = [14, 12, 12];
-    println!("Figure 12: query accuracy vs. amount of used training data (scale: {})", scale.name());
+    println!(
+        "Figure 12: query accuracy vs. amount of used training data (scale: {})",
+        scale.name()
+    );
     print_header(&["fraction", "precision", "recall"], &widths);
     for &fraction in &fractions {
         let subset = training.subsample(fraction);
@@ -35,7 +38,11 @@ fn main() {
         }
         let n = behaviors.len() as f64;
         print_row(
-            &[format!("{fraction:.2}"), pct(precision / n), pct(recall / n)],
+            &[
+                format!("{fraction:.2}"),
+                pct(precision / n),
+                pct(recall / n),
+            ],
             &widths,
         );
     }

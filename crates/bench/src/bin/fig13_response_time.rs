@@ -36,7 +36,9 @@ fn main() {
         }
         print_row(&cells, &widths);
     }
-    println!("\nPaper reference: TGMiner is fastest in every class; up to 50x faster than SubPrune,");
+    println!(
+        "\nPaper reference: TGMiner is fastest in every class; up to 50x faster than SubPrune,"
+    );
     println!("4x faster than SupPrune, and 6/17/32x faster than PruneGI/LinearScan/PruneVF2.");
 }
 
@@ -48,7 +50,12 @@ fn mine_one(
 ) -> Duration {
     eprintln!("[fig13] {} / {}", variant.name(), behavior.name());
     let config = variant.config(max_edges);
-    let result = mine(training.positives(behavior), training.negatives(), &LogRatio::default(), &config);
+    let result = mine(
+        training.positives(behavior),
+        training.negatives(),
+        &LogRatio::default(),
+        &config,
+    );
     let _ = &result.patterns;
     result.stats.elapsed
 }

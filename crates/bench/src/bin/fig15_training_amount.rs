@@ -38,5 +38,7 @@ fn main() {
         }
         print_row(&cells, &widths);
     }
-    println!("\nPaper reference: response time grows roughly linearly with the amount of training data.");
+    println!(
+        "\nPaper reference: response time grows roughly linearly with the amount of training data."
+    );
 }

@@ -16,7 +16,10 @@ fn main() {
     };
 
     let widths = [10usize, 12, 12, 12];
-    println!("Figure 16: TGMiner response time (seconds) on SYN-k datasets (scale: {})", scale.name());
+    println!(
+        "Figure 16: TGMiner response time (seconds) on SYN-k datasets (scale: {})",
+        scale.name()
+    );
     print_header(&["dataset", "small", "medium", "large"], &widths);
     for &k in &factors {
         let synthetic = training.replicate(k);

@@ -1,0 +1,104 @@
+//! Streaming throughput: events per second vs. number of concurrently registered
+//! behavior queries.
+//!
+//! Mines a pool of real queries (temporal, non-temporal and keyword — one of each per
+//! behavior), then replays the test dataset's monitoring graph through the streaming
+//! [`Detector`] with 1, 2, 4 and 8 of them registered, reporting sustained events/sec
+//! and the number of detections. `BQ_SCALE` selects the dataset size as usual.
+
+use bench::{print_header, print_row, secs, test_data, training_data, Scale};
+use query::{formulate_queries, QueryOptions};
+use std::time::Instant;
+use stream::{CompiledQuery, Detector};
+use syscall::{Behavior, StreamSource};
+
+fn main() {
+    let scale = Scale::from_env();
+    let training = training_data(scale);
+    let test = test_data(scale, &training);
+    let window = test.max_duration;
+
+    // A pool of genuine mined queries: one temporal, one static, one keyword per
+    // behavior, in a deterministic interleaving.
+    let options = QueryOptions {
+        query_size: 4,
+        top_queries: 2,
+        miner_top_k: 8,
+        cap_per_graph: 32,
+    };
+    let behaviors = [
+        Behavior::GzipDecompress,
+        Behavior::Bzip2Decompress,
+        Behavior::ScpDownload,
+    ];
+    let mut pool: Vec<(String, CompiledQuery)> = Vec::new();
+    for behavior in behaviors {
+        eprintln!("[setup] formulating queries for {}...", behavior.name());
+        let queries = formulate_queries(&training, behavior, &options);
+        if let Some(pattern) = queries.temporal.first() {
+            pool.push((
+                format!("{}/temporal", behavior.name()),
+                CompiledQuery::Temporal(pattern.clone()),
+            ));
+        }
+        pool.push((
+            format!("{}/nodeset", behavior.name()),
+            CompiledQuery::NodeSet(queries.nodeset.clone()),
+        ));
+        if let Some(pattern) = queries.nontemporal.first() {
+            pool.push((
+                format!("{}/ntemp", behavior.name()),
+                CompiledQuery::Static(pattern.clone()),
+            ));
+        }
+    }
+
+    println!(
+        "stream_throughput (scale {}, {} events, window {window})",
+        scale.name(),
+        test.graph.edge_count()
+    );
+    let widths = [8usize, 10, 10, 12, 12];
+    print_header(
+        &["queries", "events", "secs", "events/sec", "detections"],
+        &widths,
+    );
+
+    for target in [1usize, 2, 4, 8] {
+        let count = target.min(pool.len());
+        let mut detector = Detector::new();
+        for (_, query) in pool.iter().take(count) {
+            detector.register(query.clone(), window);
+        }
+        let mut source = StreamSource::from_test_data(&test, 4096);
+        let mut detections = 0usize;
+        let start = Instant::now();
+        while let Some(batch) = source.next_batch() {
+            detections += detector
+                .on_batch(batch)
+                .expect("replayed dataset streams are valid")
+                .len();
+        }
+        detections += detector.flush().len();
+        let elapsed = start.elapsed();
+        let rate = test.graph.edge_count() as f64 / elapsed.as_secs_f64();
+        print_row(
+            &[
+                count.to_string(),
+                test.graph.edge_count().to_string(),
+                secs(elapsed),
+                format!("{rate:.0}"),
+                detections.to_string(),
+            ],
+            &widths,
+        );
+        if count < target {
+            break; // pool exhausted
+        }
+    }
+
+    println!("\nregistered query pool:");
+    for (name, _) in &pool {
+        println!("  {name}");
+    }
+}

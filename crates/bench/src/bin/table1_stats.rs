@@ -9,8 +9,20 @@ fn main() {
     let scale = Scale::from_env();
     let data = training_data(scale);
     let widths = [20, 12, 12, 14, 8];
-    println!("Table 1: statistics of training data (scale: {})", scale.name());
-    print_header(&["behavior", "avg #nodes", "avg #edges", "total #labels", "graphs"], &widths);
+    println!(
+        "Table 1: statistics of training data (scale: {})",
+        scale.name()
+    );
+    print_header(
+        &[
+            "behavior",
+            "avg #nodes",
+            "avg #edges",
+            "total #labels",
+            "graphs",
+        ],
+        &widths,
+    );
     for row in data.stats() {
         print_row(
             &[

@@ -12,9 +12,20 @@ fn main() {
     let options = QueryOptions::default();
 
     let widths = [20, 9, 9, 9, 9, 9, 9];
-    println!("Table 2: query accuracy on different behaviors (scale: {})", scale.name());
+    println!(
+        "Table 2: query accuracy on different behaviors (scale: {})",
+        scale.name()
+    );
     print_header(
-        &["behavior", "P:NodeSet", "P:Ntemp", "P:TGMiner", "R:NodeSet", "R:Ntemp", "R:TGMiner"],
+        &[
+            "behavior",
+            "P:NodeSet",
+            "P:Ntemp",
+            "P:TGMiner",
+            "R:NodeSet",
+            "R:Ntemp",
+            "R:TGMiner",
+        ],
         &widths,
     );
     let mut sums = [0.0f64; 6];
@@ -60,5 +71,7 @@ fn main() {
         ],
         &widths,
     );
-    println!("\nPaper reference (averages): precision 68.5 / 83.2 / 97.4, recall 78.4 / 91.9 / 91.1");
+    println!(
+        "\nPaper reference (averages): precision 68.5 / 83.2 / 97.4, recall 78.4 / 91.9 / 91.1"
+    );
 }

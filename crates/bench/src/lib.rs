@@ -30,7 +30,11 @@ pub enum Scale {
 impl Scale {
     /// Reads the scale from `BQ_SCALE` (`tiny` / `small` / `paper`), defaulting to small.
     pub fn from_env() -> Self {
-        match std::env::var("BQ_SCALE").unwrap_or_default().to_lowercase().as_str() {
+        match std::env::var("BQ_SCALE")
+            .unwrap_or_default()
+            .to_lowercase()
+            .as_str()
+        {
             "tiny" => Scale::Tiny,
             "paper" => Scale::Paper,
             _ => Scale::Small,
@@ -67,17 +71,25 @@ impl Scale {
 
 /// Generates the training data for the selected scale, reporting progress on stderr.
 pub fn training_data(scale: Scale) -> TrainingData {
-    eprintln!("[setup] generating training data at scale '{}'...", scale.name());
+    eprintln!(
+        "[setup] generating training data at scale '{}'...",
+        scale.name()
+    );
     let data = TrainingData::generate(&scale.dataset_config());
     let (nodes, edges) = data.totals();
-    eprintln!("[setup] training data: {} graphs, {nodes} nodes, {edges} edges",
-        data.behaviors.iter().map(|b| b.graphs.len()).sum::<usize>() + data.background.len());
+    eprintln!(
+        "[setup] training data: {} graphs, {nodes} nodes, {edges} edges",
+        data.behaviors.iter().map(|b| b.graphs.len()).sum::<usize>() + data.background.len()
+    );
     data
 }
 
 /// Generates the test data for the selected scale, sharing the training interner.
 pub fn test_data(scale: Scale, training: &TrainingData) -> TestData {
-    eprintln!("[setup] generating test data at scale '{}'...", scale.name());
+    eprintln!(
+        "[setup] generating test data at scale '{}'...",
+        scale.name()
+    );
     let data = TestData::generate(&scale.testdata_config(), training.interner.clone());
     eprintln!(
         "[setup] test data: {} nodes, {} edges, {} behavior instances",
@@ -117,7 +129,10 @@ pub fn print_row(cells: &[String], widths: &[usize]) {
 
 /// Prints a table header followed by a separator line.
 pub fn print_header(cells: &[&str], widths: &[usize]) {
-    print_row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(), widths);
+    print_row(
+        &cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        widths,
+    );
     let total: usize = widths.iter().sum::<usize>() + widths.len().saturating_sub(1) * 2;
     println!("{}", "-".repeat(total));
 }

@@ -7,17 +7,24 @@
 //!
 //! * [`pipeline`] — end-to-end query formulation and evaluation for one behavior, for
 //!   TGMiner and for the two accuracy baselines (`Ntemp`, `NodeSet`).
+//! * [`matcher`] — the per-edge advance state machines shared by the batch search and
+//!   the streaming detector (crate `stream`).
 //! * [`search`] — windowed search of temporal, non-temporal, and keyword queries over a
-//!   large temporal graph.
+//!   large temporal graph, built on [`matcher`].
 //! * [`eval`] — precision / recall / F1 definitions of Section 6.2.
 
 pub mod eval;
+pub mod matcher;
 pub mod pipeline;
 pub mod search;
 
 pub use eval::{evaluate, merge_identified, AccuracyReport};
+pub use matcher::{NodeSetRun, RunStep, TemporalRun, TemporalSpawn};
 pub use pipeline::{
-    evaluate_queries, formulate_and_evaluate, formulate_queries, BehaviorAccuracy,
-    BehaviorQueries, QueryOptions,
+    evaluate_queries, formulate_and_evaluate, formulate_queries, BehaviorAccuracy, BehaviorQueries,
+    QueryOptions,
 };
-pub use search::{search_nodeset, search_static, search_temporal, Interval};
+pub use search::{
+    search_nodeset, search_static, search_static_indexed, search_temporal, search_temporal_indexed,
+    Interval,
+};

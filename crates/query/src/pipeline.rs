@@ -7,7 +7,7 @@
 //! The same pipeline is instantiated for the two accuracy baselines (`Ntemp`, `NodeSet`).
 
 use crate::eval::{evaluate, merge_identified, AccuracyReport};
-use crate::search::{search_nodeset, search_static, search_temporal, Interval};
+use crate::search::{search_nodeset, search_static_indexed, search_temporal_indexed, Interval};
 use syscall::{Behavior, TestData, TrainingData};
 use tgminer::baselines::gspan::{mine_nontemporal, StaticPattern};
 use tgminer::baselines::nodeset::{mine_nodeset, NodeSetQuery};
@@ -15,6 +15,7 @@ use tgminer::ranking::InterestRanker;
 use tgminer::score::{InfoGain, LogRatio};
 use tgminer::{mine, MinerConfig, MiningResult};
 use tgraph::pattern::TemporalPattern;
+use tgraph::EdgePostings;
 
 /// Options controlling query formulation.
 #[derive(Debug, Clone, Copy)]
@@ -31,7 +32,12 @@ pub struct QueryOptions {
 
 impl Default for QueryOptions {
     fn default() -> Self {
-        Self { query_size: 6, top_queries: 5, miner_top_k: 24, cap_per_graph: 64 }
+        Self {
+            query_size: 6,
+            top_queries: 5,
+            miner_top_k: 24,
+            cap_per_graph: 64,
+        }
     }
 }
 
@@ -85,7 +91,13 @@ pub fn formulate_queries(
         .collect();
 
     // Ntemp non-temporal patterns, ranked by (score, interest over labels).
-    let ntemp = mine_nontemporal(positives, negatives, &score, options.query_size, options.miner_top_k);
+    let ntemp = mine_nontemporal(
+        positives,
+        negatives,
+        &score,
+        options.query_size,
+        options.miner_top_k,
+    );
     let mut nontemporal: Vec<(f64, f64, StaticPattern)> = ntemp
         .patterns
         .into_iter()
@@ -99,7 +111,11 @@ pub fn formulate_queries(
             .unwrap_or(std::cmp::Ordering::Equal)
             .then_with(|| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal))
     });
-    let nontemporal = nontemporal.into_iter().take(options.top_queries).map(|(_, _, p)| p).collect();
+    let nontemporal = nontemporal
+        .into_iter()
+        .take(options.top_queries)
+        .map(|(_, _, p)| p)
+        .collect();
 
     // NodeSet keyword query: top query_size discriminative labels. Labels are scored
     // with information gain, which is coverage-aware: a label present in every positive
@@ -107,7 +123,13 @@ pub fn formulate_queries(
     let label_score = InfoGain::new(positives.len(), negatives.len());
     let nodeset = mine_nodeset(positives, negatives, &label_score, options.query_size);
 
-    BehaviorQueries { behavior, temporal, nontemporal, nodeset, mining }
+    BehaviorQueries {
+        behavior,
+        temporal,
+        nontemporal,
+        nodeset,
+        mining,
+    }
 }
 
 /// Accuracy of the three approaches on one behavior.
@@ -128,15 +150,18 @@ pub fn evaluate_queries(queries: &BehaviorQueries, test: &TestData) -> BehaviorA
     let truth = test.intervals_of(queries.behavior);
     let window = test.max_duration;
 
+    // One label-pair postings index serves seed lookup for every temporal and static
+    // query over this test graph.
+    let postings = EdgePostings::build(&test.graph);
     let temporal_hits: Vec<Interval> = queries
         .temporal
         .iter()
-        .flat_map(|p| search_temporal(&test.graph, p, window))
+        .flat_map(|p| search_temporal_indexed(&test.graph, &postings, p, window))
         .collect();
     let ntemp_hits: Vec<Interval> = queries
         .nontemporal
         .iter()
-        .flat_map(|p| search_static(&test.graph, p, window))
+        .flat_map(|p| search_static_indexed(&test.graph, &postings, p, window))
         .collect();
     let nodeset_hits = search_nodeset(&test.graph, &queries.nodeset, window);
 
@@ -173,7 +198,12 @@ mod tests {
     #[test]
     fn formulated_queries_are_nonempty_and_sized() {
         let (training, _) = tiny_setup();
-        let options = QueryOptions { query_size: 3, top_queries: 3, miner_top_k: 8, cap_per_graph: 32 };
+        let options = QueryOptions {
+            query_size: 3,
+            top_queries: 3,
+            miner_top_k: 8,
+            cap_per_graph: 32,
+        };
         let queries = formulate_queries(&training, Behavior::GzipDecompress, &options);
         assert!(!queries.temporal.is_empty());
         assert!(queries.temporal.iter().all(|p| p.edge_count() <= 3));
@@ -185,19 +215,37 @@ mod tests {
     #[test]
     fn tgminer_queries_find_behavior_instances_accurately() {
         let (training, test) = tiny_setup();
-        let options = QueryOptions { query_size: 4, top_queries: 3, miner_top_k: 8, cap_per_graph: 32 };
+        let options = QueryOptions {
+            query_size: 4,
+            top_queries: 3,
+            miner_top_k: 8,
+            cap_per_graph: 32,
+        };
         let accuracy =
             formulate_and_evaluate(&training, &test, Behavior::Bzip2Decompress, &options);
         // A distinct behavior: TGMiner must be both precise and complete.
-        assert!(accuracy.tgminer.precision() > 0.9, "precision {}", accuracy.tgminer.precision());
-        assert!(accuracy.tgminer.recall() > 0.6, "recall {}", accuracy.tgminer.recall());
+        assert!(
+            accuracy.tgminer.precision() > 0.9,
+            "precision {}",
+            accuracy.tgminer.precision()
+        );
+        assert!(
+            accuracy.tgminer.recall() > 0.6,
+            "recall {}",
+            accuracy.tgminer.recall()
+        );
         assert!(accuracy.tgminer.instances > 0);
     }
 
     #[test]
     fn temporal_queries_beat_keyword_queries_on_confusable_behaviors() {
         let (training, test) = tiny_setup();
-        let options = QueryOptions { query_size: 4, top_queries: 3, miner_top_k: 8, cap_per_graph: 32 };
+        let options = QueryOptions {
+            query_size: 4,
+            top_queries: 3,
+            miner_top_k: 8,
+            cap_per_graph: 32,
+        };
         let accuracy = formulate_and_evaluate(&training, &test, Behavior::SshdLogin, &options);
         // sshd-login shares its structure with background decoys: the keyword query must
         // not beat the temporal query on precision.

@@ -1,0 +1,702 @@
+//! The streaming detector: registered behavior queries matched as events arrive.
+//!
+//! ## Execution model
+//!
+//! Queries are registered with [`Detector::register`]; each arriving [`StreamEvent`]
+//! then goes through five steps:
+//!
+//! 1. **Resolve** pending `Ntemp` anchors whose window closed before this event — their
+//!    full window is buffered, so the order-free completion can run over it.
+//! 2. **Append** the event to the [`IncrementalGraph`] (O(1) amortised), which also
+//!    evicts edges that left the retention window (twice the largest registered query
+//!    window — enough for the `Ntemp` look-back *and* look-ahead).
+//! 3. **Advance** every live temporal partial-match run by the new edge; completions
+//!    become detections, expired runs are dropped.
+//! 4. **Advance** every live keyword (`NodeSet`) window with the event's endpoints.
+//! 5. **Spawn** new work for the event itself: queries are keyed on their first edge's
+//!    `(source label, destination label)` pair (or, for keyword queries, on each member
+//!    label), so only queries whose first edge can match the event are touched.
+//!
+//! Temporal and keyword queries are therefore matched fully incrementally; non-temporal
+//! queries — whose matches may *precede* their anchor — are anchored incrementally and
+//! resolved once their window closes (or at [`Detector::flush`]).
+
+use query::matcher::{
+    complete_static_anchored, seed_matches, static_window_bounds, window_deadline, NodeSetRun,
+    RunStep, TemporalRun, TemporalSpawn,
+};
+use std::collections::HashMap;
+use tgminer::baselines::gspan::StaticPattern;
+use tgminer::baselines::nodeset::NodeSetQuery;
+use tgraph::pattern::TemporalPattern;
+use tgraph::{GraphError, IncrementalGraph, Label, StreamEvent, TemporalEdge};
+
+/// Identifier of a registered query, assigned by [`Detector::register`].
+pub type QueryId = usize;
+
+/// A behavior query in the form the detector executes: one of the three query types the
+/// offline search supports.
+#[derive(Debug, Clone)]
+pub enum CompiledQuery {
+    /// A temporal graph pattern (TGMiner): edge order must be respected.
+    Temporal(TemporalPattern),
+    /// A non-temporal pattern (`Ntemp`): same structure, order ignored.
+    Static(StaticPattern),
+    /// A keyword label set (`NodeSet`): any co-occurrence within the window.
+    NodeSet(NodeSetQuery),
+}
+
+impl CompiledQuery {
+    /// Whether the query can never match anything (no edges / no labels).
+    pub fn is_trivially_empty(&self) -> bool {
+        match self {
+            CompiledQuery::Temporal(p) => p.edge_count() == 0,
+            CompiledQuery::Static(p) => p.edges.is_empty(),
+            CompiledQuery::NodeSet(q) => q.labels.is_empty(),
+        }
+    }
+}
+
+/// An emitted detection: `query` identified an instance spanning `[start_ts, end_ts]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Detection {
+    /// The registered query that matched.
+    pub query: QueryId,
+    /// Timestamp of the instance's first event.
+    pub start_ts: u64,
+    /// Timestamp of the instance's last event.
+    pub end_ts: u64,
+}
+
+/// A registered query plus its match window.
+#[derive(Debug, Clone)]
+struct Registered {
+    query: CompiledQuery,
+    window: u64,
+}
+
+/// An `Ntemp` anchor waiting for its window to close.
+#[derive(Debug, Clone, Copy)]
+struct PendingStatic {
+    query: QueryId,
+    anchor: TemporalEdge,
+    deadline: u64,
+}
+
+/// The streaming detection engine. See the module docs for the execution model and the
+/// crate docs for the offline-consistency guarantee.
+#[derive(Debug)]
+pub struct Detector {
+    queries: Vec<Registered>,
+    /// Temporal queries by their first edge's label pair.
+    temporal_seeds: HashMap<(Label, Label), Vec<QueryId>>,
+    /// Static queries by their first edge's label pair.
+    static_anchors: HashMap<(Label, Label), Vec<QueryId>>,
+    /// Keyword queries by each member label.
+    nodeset_labels: HashMap<Label, Vec<QueryId>>,
+    graph: IncrementalGraph,
+    temporal_runs: Vec<(QueryId, TemporalRun)>,
+    nodeset_runs: Vec<(QueryId, NodeSetRun)>,
+    pending_static: Vec<PendingStatic>,
+    max_window: u64,
+    dropped_branches: u64,
+}
+
+impl Default for Detector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Detector {
+    /// An empty detector with no registered queries.
+    pub fn new() -> Self {
+        // The detector keys its own lookups on first-edge label pairs, so the
+        // incremental graph's generic postings index would be maintained for nobody —
+        // disable it on the hot path.
+        let mut graph = IncrementalGraph::new();
+        graph.disable_postings();
+        Self {
+            queries: Vec::new(),
+            temporal_seeds: HashMap::new(),
+            static_anchors: HashMap::new(),
+            nodeset_labels: HashMap::new(),
+            graph,
+            temporal_runs: Vec::new(),
+            nodeset_runs: Vec::new(),
+            pending_static: Vec::new(),
+            max_window: 0,
+            dropped_branches: 0,
+        }
+    }
+
+    /// Registers a query matched within `window` timestamp units. Returns its id.
+    ///
+    /// Registration is expected before streaming starts; a query registered mid-stream
+    /// only sees events from that point on (it cannot match into already-evicted
+    /// history).
+    pub fn register(&mut self, query: CompiledQuery, window: u64) -> QueryId {
+        let id = self.queries.len();
+        match &query {
+            CompiledQuery::Temporal(pattern) => {
+                if pattern.edge_count() > 0 {
+                    let first = pattern.edges()[0];
+                    let key = (pattern.label(first.src), pattern.label(first.dst));
+                    self.temporal_seeds.entry(key).or_default().push(id);
+                }
+            }
+            CompiledQuery::Static(pattern) => {
+                if let Some(&(p_src, p_dst)) = pattern.edges.first() {
+                    let key = (pattern.labels[p_src], pattern.labels[p_dst]);
+                    self.static_anchors.entry(key).or_default().push(id);
+                }
+            }
+            CompiledQuery::NodeSet(set) => {
+                let mut distinct = set.labels.clone();
+                distinct.sort_unstable();
+                distinct.dedup();
+                for label in distinct {
+                    self.nodeset_labels.entry(label).or_default().push(id);
+                }
+            }
+        }
+        self.queries.push(Registered { query, window });
+        // Retain twice the largest window: Ntemp anchors need `window - 1` of look-back
+        // still buffered when their `window - 1` of look-ahead closes.
+        self.max_window = self.max_window.max(window);
+        self.graph
+            .set_retention(Some(self.max_window.saturating_mul(2)));
+        id
+    }
+
+    /// Number of registered queries.
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Processes one event; returns the detections it triggered.
+    ///
+    /// Errors (and leaves the detector unchanged) if the event's timestamp does not
+    /// strictly increase or it relabels a known node.
+    pub fn on_event(&mut self, event: StreamEvent) -> Result<Vec<Detection>, GraphError> {
+        // Reject a bad event *before* touching any state: resolving pending anchors
+        // first and then failing would silently consume their detections.
+        self.graph.validate(&event)?;
+        let mut out = Vec::new();
+        self.resolve_static_due(Some(event.ts), &mut out);
+        self.graph
+            .append(event)
+            .expect("event was validated just above");
+        let edge = event.edge();
+        self.advance_temporal(edge, &mut out);
+        self.advance_nodesets(event, &mut out);
+        self.spawn_for(event, &mut out);
+        Ok(out)
+    }
+
+    /// Processes a batch of events, concatenating their detections.
+    pub fn on_batch(&mut self, events: &[StreamEvent]) -> Result<Vec<Detection>, GraphError> {
+        let mut out = Vec::new();
+        for &event in events {
+            out.extend(self.on_event(event)?);
+        }
+        Ok(out)
+    }
+
+    /// Declares the stream finished: resolves every still-pending `Ntemp` anchor against
+    /// the buffered window and drops all partial-match state. Temporal and keyword runs
+    /// that never completed are discarded — exactly as an offline search reaching the
+    /// end of the graph would abandon them.
+    pub fn flush(&mut self) -> Vec<Detection> {
+        let mut out = Vec::new();
+        self.resolve_static_due(None, &mut out);
+        for (_, run) in self.temporal_runs.drain(..) {
+            self.dropped_branches += run.dropped_branches();
+        }
+        self.nodeset_runs.clear();
+        out
+    }
+
+    /// Live temporal partial-match runs (for observability and tests).
+    pub fn active_temporal_runs(&self) -> usize {
+        self.temporal_runs.len()
+    }
+
+    /// Live keyword windows.
+    pub fn active_nodeset_runs(&self) -> usize {
+        self.nodeset_runs.len()
+    }
+
+    /// `Ntemp` anchors waiting for their window to close.
+    pub fn pending_static_anchors(&self) -> usize {
+        self.pending_static.len()
+    }
+
+    /// The incremental graph backing the detector (live window, eviction counters).
+    pub fn graph(&self) -> &IncrementalGraph {
+        &self.graph
+    }
+
+    /// Total partial-match branches dropped by retired temporal runs that hit the
+    /// per-run state cap ([`query::matcher::MAX_STATES_PER_RUN`]). Non-zero means some
+    /// detections may have been missed on extremely dense seeds; it stays zero on the
+    /// generated workloads.
+    pub fn dropped_branches(&self) -> u64 {
+        self.dropped_branches
+    }
+
+    /// Resolves pending static anchors. With `Some(now)`, only anchors whose window
+    /// closed strictly before `now` (their buffered slice is complete); with `None`,
+    /// all of them (stream end).
+    fn resolve_static_due(&mut self, now: Option<u64>, out: &mut Vec<Detection>) {
+        if self.pending_static.is_empty() {
+            return;
+        }
+        let (due, keep): (Vec<_>, Vec<_>) = std::mem::take(&mut self.pending_static)
+            .into_iter()
+            .partition(|p| now.is_none_or(|ts| p.deadline < ts));
+        self.pending_static = keep;
+        for pending in due {
+            let registered = &self.queries[pending.query];
+            let CompiledQuery::Static(pattern) = &registered.query else {
+                unreachable!("pending static anchor for a non-static query");
+            };
+            let live = self.graph.live_edges();
+            let (lo, hi) = static_window_bounds(live, pending.anchor.ts, registered.window);
+            if let Some((start_ts, end_ts)) = complete_static_anchored(
+                pattern,
+                self.graph.labels(),
+                &live[lo..hi],
+                pending.anchor,
+                registered.window,
+            ) {
+                out.push(Detection {
+                    query: pending.query,
+                    start_ts,
+                    end_ts,
+                });
+            }
+        }
+    }
+
+    /// Advances all temporal runs by one edge.
+    fn advance_temporal(&mut self, edge: TemporalEdge, out: &mut Vec<Detection>) {
+        let mut runs = std::mem::take(&mut self.temporal_runs);
+        let mut dropped = 0u64;
+        runs.retain_mut(|(query, run)| {
+            let CompiledQuery::Temporal(pattern) = &self.queries[*query].query else {
+                unreachable!("temporal run for a non-temporal query");
+            };
+            let keep = match run.advance(pattern, self.graph.labels(), edge) {
+                RunStep::Pending => true,
+                RunStep::Expired => false,
+                RunStep::Complete((start_ts, end_ts)) => {
+                    out.push(Detection {
+                        query: *query,
+                        start_ts,
+                        end_ts,
+                    });
+                    false
+                }
+            };
+            if !keep {
+                dropped += run.dropped_branches();
+            }
+            keep
+        });
+        self.dropped_branches += dropped;
+        self.temporal_runs = runs;
+    }
+
+    /// Advances all keyword windows by one event's endpoints.
+    fn advance_nodesets(&mut self, event: StreamEvent, out: &mut Vec<Detection>) {
+        let endpoints = [(event.src, event.src_label), (event.dst, event.dst_label)];
+        self.nodeset_runs
+            .retain_mut(|(query, run)| match run.advance(event.ts, endpoints) {
+                RunStep::Pending => true,
+                RunStep::Expired => false,
+                RunStep::Complete((start_ts, end_ts)) => {
+                    out.push(Detection {
+                        query: *query,
+                        start_ts,
+                        end_ts,
+                    });
+                    false
+                }
+            });
+    }
+
+    /// Spawns new runs / anchors for the arriving event itself.
+    fn spawn_for(&mut self, event: StreamEvent, out: &mut Vec<Detection>) {
+        let edge = event.edge();
+        let labels = self.graph.labels();
+
+        // Temporal queries whose first edge's label pair matches.
+        if let Some(candidates) = self.temporal_seeds.get(&(event.src_label, event.dst_label)) {
+            for &query in candidates {
+                let CompiledQuery::Temporal(pattern) = &self.queries[query].query else {
+                    unreachable!("temporal seed index points at a non-temporal query");
+                };
+                if !seed_matches(pattern, labels, edge) {
+                    continue; // right labels, wrong loop structure
+                }
+                match TemporalRun::spawn(pattern, edge, self.queries[query].window) {
+                    TemporalSpawn::Complete((start_ts, end_ts)) => {
+                        out.push(Detection {
+                            query,
+                            start_ts,
+                            end_ts,
+                        });
+                    }
+                    TemporalSpawn::Active(run) => self.temporal_runs.push((query, run)),
+                }
+            }
+        }
+
+        // Static queries: remember the anchor, resolve when the window closes.
+        if let Some(candidates) = self.static_anchors.get(&(event.src_label, event.dst_label)) {
+            for &query in candidates {
+                let deadline = window_deadline(event.ts, self.queries[query].window);
+                self.pending_static.push(PendingStatic {
+                    query,
+                    anchor: edge,
+                    deadline,
+                });
+            }
+        }
+
+        // Keyword queries touched by either endpoint label (deduplicated).
+        let mut spawned: Vec<QueryId> = Vec::new();
+        for label in [event.src_label, event.dst_label] {
+            if let Some(candidates) = self.nodeset_labels.get(&label) {
+                for &query in candidates {
+                    if spawned.contains(&query) {
+                        continue;
+                    }
+                    spawned.push(query);
+                }
+            }
+        }
+        spawned.sort_unstable();
+        for query in spawned {
+            let CompiledQuery::NodeSet(set) = &self.queries[query].query else {
+                unreachable!("nodeset label index points at a non-nodeset query");
+            };
+            let mut run = NodeSetRun::spawn(set, event.ts, self.queries[query].window);
+            // The anchor edge's own endpoints count toward the match.
+            match run.advance(
+                event.ts,
+                [(event.src, event.src_label), (event.dst, event.dst_label)],
+            ) {
+                RunStep::Pending => self.nodeset_runs.push((query, run)),
+                RunStep::Expired => {}
+                RunStep::Complete((start_ts, end_ts)) => {
+                    out.push(Detection {
+                        query,
+                        start_ts,
+                        end_ts,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use query::{search_nodeset, search_static, search_temporal};
+    use tgraph::{GraphBuilder, TemporalGraph};
+
+    fn l(i: u32) -> Label {
+        Label(i)
+    }
+
+    fn ev(ts: u64, src: usize, dst: usize, sl: u32, dl: u32) -> StreamEvent {
+        StreamEvent {
+            ts,
+            src,
+            dst,
+            src_label: l(sl),
+            dst_label: l(dl),
+        }
+    }
+
+    /// Replays a graph's edges through the detector, returning all detections.
+    fn replay(detector: &mut Detector, graph: &TemporalGraph) -> Vec<Detection> {
+        let mut out = Vec::new();
+        for edge in graph.edges() {
+            let event = StreamEvent {
+                ts: edge.ts,
+                src: edge.src,
+                dst: edge.dst,
+                src_label: graph.label(edge.src),
+                dst_label: graph.label(edge.dst),
+            };
+            out.extend(detector.on_event(event).expect("valid replayed stream"));
+        }
+        out.extend(detector.flush());
+        out
+    }
+
+    fn abc_pattern() -> TemporalPattern {
+        TemporalPattern::single_edge(l(0), l(1))
+            .grow_forward(1, l(2))
+            .unwrap()
+    }
+
+    /// The search.rs test graph: a forward chain, noise, a reversed occurrence, and a
+    /// second forward chain.
+    fn test_graph() -> TemporalGraph {
+        let mut b = GraphBuilder::new();
+        let a1 = b.add_node(l(0));
+        let b1 = b.add_node(l(1));
+        let c1 = b.add_node(l(2));
+        let noise = b.add_node(l(9));
+        let a2 = b.add_node(l(0));
+        let b2 = b.add_node(l(1));
+        let c2 = b.add_node(l(2));
+        let a3 = b.add_node(l(0));
+        let b3 = b.add_node(l(1));
+        let c3 = b.add_node(l(2));
+        b.add_edge(a1, b1, 1).unwrap();
+        b.add_edge(b1, c1, 2).unwrap();
+        b.add_edge(noise, noise, 5).unwrap();
+        b.add_edge(b2, c2, 10).unwrap();
+        b.add_edge(a2, b2, 11).unwrap();
+        b.add_edge(a3, b3, 20).unwrap();
+        b.add_edge(b3, c3, 21).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn temporal_detections_match_offline_search() {
+        let g = test_graph();
+        let mut detector = Detector::new();
+        let q = detector.register(CompiledQuery::Temporal(abc_pattern()), 5);
+        let mut streamed: Vec<(u64, u64)> = replay(&mut detector, &g)
+            .into_iter()
+            .map(|d| (d.start_ts, d.end_ts))
+            .collect();
+        streamed.sort_unstable();
+        let mut offline = search_temporal(&g, &abc_pattern(), 5);
+        offline.sort_unstable();
+        assert_eq!(streamed, offline);
+        assert_eq!(q, 0);
+    }
+
+    #[test]
+    fn static_detections_match_offline_search_including_lookback() {
+        let g = test_graph();
+        let pattern = StaticPattern {
+            labels: vec![l(0), l(1), l(2)],
+            edges: vec![(0, 1), (1, 2)],
+        };
+        let mut detector = Detector::new();
+        detector.register(CompiledQuery::Static(pattern.clone()), 5);
+        let mut streamed: Vec<(u64, u64)> = replay(&mut detector, &g)
+            .into_iter()
+            .map(|d| (d.start_ts, d.end_ts))
+            .collect();
+        streamed.sort_unstable();
+        let mut offline = search_static(&g, &pattern, 5);
+        offline.sort_unstable();
+        assert_eq!(streamed, offline);
+        // The reversed occurrence (B->C before A->B) is only reachable through
+        // look-back, so this asserts the buffered-window resolution really works.
+        assert!(streamed.contains(&(10, 11)));
+    }
+
+    #[test]
+    fn nodeset_detections_match_offline_search() {
+        let g = test_graph();
+        let set = NodeSetQuery {
+            labels: vec![l(0), l(1), l(2)],
+        };
+        let mut detector = Detector::new();
+        detector.register(CompiledQuery::NodeSet(set.clone()), 5);
+        let mut streamed: Vec<(u64, u64)> = replay(&mut detector, &g)
+            .into_iter()
+            .map(|d| (d.start_ts, d.end_ts))
+            .collect();
+        streamed.sort_unstable();
+        let mut offline = search_nodeset(&g, &set, 5);
+        offline.sort_unstable();
+        assert_eq!(streamed, offline);
+    }
+
+    #[test]
+    fn detections_carry_their_query_id() {
+        let g = test_graph();
+        let mut detector = Detector::new();
+        let qa = detector.register(CompiledQuery::Temporal(abc_pattern()), 5);
+        let qb = detector.register(
+            CompiledQuery::Temporal(TemporalPattern::single_self_loop(l(9))),
+            5,
+        );
+        let detections = replay(&mut detector, &g);
+        assert!(detections.iter().any(|d| d.query == qa));
+        assert!(detections.iter().any(|d| d.query == qb && d.start_ts == 5));
+    }
+
+    #[test]
+    fn partial_matches_expire_after_the_window() {
+        let mut detector = Detector::new();
+        detector.register(CompiledQuery::Temporal(abc_pattern()), 3);
+        // Seed A->B at ts 10; the run may live through ts 12 at most.
+        detector.on_event(ev(10, 0, 1, 0, 1)).unwrap();
+        assert_eq!(detector.active_temporal_runs(), 1);
+        detector.on_event(ev(12, 5, 6, 7, 7)).unwrap();
+        assert_eq!(
+            detector.active_temporal_runs(),
+            1,
+            "still inside the window"
+        );
+        detector.on_event(ev(13, 5, 6, 7, 7)).unwrap();
+        assert_eq!(
+            detector.active_temporal_runs(),
+            0,
+            "expired once the window closed"
+        );
+        // A keyword window expires the same way.
+        detector.register(
+            CompiledQuery::NodeSet(NodeSetQuery {
+                labels: vec![l(7), l(8)],
+            }),
+            3,
+        );
+        detector.on_event(ev(14, 5, 6, 7, 7)).unwrap();
+        assert_eq!(detector.active_nodeset_runs(), 1);
+        detector.on_event(ev(20, 5, 6, 7, 7)).unwrap();
+        // The old window expired; the new event spawned a fresh one.
+        assert_eq!(detector.active_nodeset_runs(), 1);
+    }
+
+    #[test]
+    fn window_eviction_is_bounded_by_twice_the_largest_window() {
+        let mut detector = Detector::new();
+        detector.register(CompiledQuery::Temporal(abc_pattern()), 10);
+        for ts in 1..=200u64 {
+            detector.on_event(ev(ts, 0, 1, 0, 1)).unwrap();
+        }
+        // Retention is 2 * 10: live edges are ts in (180, 200].
+        assert_eq!(detector.graph().retention(), Some(20));
+        assert_eq!(detector.graph().live_edge_count(), 20);
+        assert_eq!(detector.graph().evicted_count(), 180);
+        // Seeds keep spawning and expiring; they never accumulate past the window.
+        assert!(detector.active_temporal_runs() <= 10);
+    }
+
+    #[test]
+    fn pending_static_anchors_resolve_at_window_close_and_flush() {
+        let pattern = StaticPattern {
+            labels: vec![l(0), l(1), l(2)],
+            edges: vec![(0, 1), (1, 2)],
+        };
+        let mut detector = Detector::new();
+        let q = detector.register(CompiledQuery::Static(pattern), 5);
+        // B->C first, then the anchor A->B: only look-back can complete this.
+        detector.on_event(ev(10, 1, 2, 1, 2)).unwrap();
+        let out = detector.on_event(ev(11, 0, 1, 0, 1)).unwrap();
+        assert!(out.is_empty(), "anchor must wait for its window to close");
+        assert_eq!(detector.pending_static_anchors(), 1);
+        // An event past the deadline (11 + 4) closes the window and resolves the anchor.
+        let out = detector.on_event(ev(16, 5, 5, 9, 9)).unwrap();
+        assert_eq!(
+            out,
+            vec![Detection {
+                query: q,
+                start_ts: 10,
+                end_ts: 11
+            }]
+        );
+        assert_eq!(detector.pending_static_anchors(), 0);
+        // A trailing anchor resolves at flush instead.
+        detector.on_event(ev(20, 1, 2, 1, 2)).unwrap();
+        detector.on_event(ev(21, 0, 1, 0, 1)).unwrap();
+        let out = detector.flush();
+        assert_eq!(
+            out,
+            vec![Detection {
+                query: q,
+                start_ts: 20,
+                end_ts: 21
+            }]
+        );
+    }
+
+    #[test]
+    fn invalid_events_do_not_consume_pending_anchors() {
+        // Regression: a due static anchor must survive a rejected event; resolving it
+        // first and then failing the append would silently lose its detection.
+        let pattern = StaticPattern {
+            labels: vec![l(0), l(1), l(2)],
+            edges: vec![(0, 1), (1, 2)],
+        };
+        let mut detector = Detector::new();
+        let q = detector.register(CompiledQuery::Static(pattern), 5);
+        detector.on_event(ev(10, 1, 2, 1, 2)).unwrap();
+        detector.on_event(ev(11, 0, 1, 0, 1)).unwrap();
+        assert_eq!(detector.pending_static_anchors(), 1);
+        // This event is past the anchor's deadline but relabels node 0 — rejected.
+        assert!(detector.on_event(ev(30, 0, 1, 9, 1)).is_err());
+        assert_eq!(
+            detector.pending_static_anchors(),
+            1,
+            "anchor must survive the bad event"
+        );
+        // A valid event then resolves it normally.
+        let out = detector.on_event(ev(30, 5, 5, 7, 7)).unwrap();
+        assert_eq!(
+            out,
+            vec![Detection {
+                query: q,
+                start_ts: 10,
+                end_ts: 11
+            }]
+        );
+    }
+
+    #[test]
+    fn invalid_events_are_rejected() {
+        let mut detector = Detector::new();
+        detector.register(CompiledQuery::Temporal(abc_pattern()), 5);
+        detector.on_event(ev(10, 0, 1, 0, 1)).unwrap();
+        assert!(matches!(
+            detector.on_event(ev(10, 1, 2, 1, 2)),
+            Err(GraphError::NonMonotonicTimestamp { .. })
+        ));
+        assert!(matches!(
+            detector.on_event(ev(11, 0, 1, 3, 1)),
+            Err(GraphError::LabelConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn batches_are_equivalent_to_single_events() {
+        let g = test_graph();
+        let mut one = Detector::new();
+        one.register(CompiledQuery::Temporal(abc_pattern()), 5);
+        let singles = replay(&mut one, &g);
+
+        let mut batched = Detector::new();
+        batched.register(CompiledQuery::Temporal(abc_pattern()), 5);
+        let events: Vec<StreamEvent> = g
+            .edges()
+            .iter()
+            .map(|e| StreamEvent {
+                ts: e.ts,
+                src: e.src,
+                dst: e.dst,
+                src_label: g.label(e.src),
+                dst_label: g.label(e.dst),
+            })
+            .collect();
+        let mut out = Vec::new();
+        for chunk in events.chunks(3) {
+            out.extend(batched.on_batch(chunk).unwrap());
+        }
+        out.extend(batched.flush());
+        assert_eq!(singles, out);
+    }
+}

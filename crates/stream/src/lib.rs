@@ -1,0 +1,28 @@
+//! # stream — online streaming detection engine
+//!
+//! The batch pipeline of this reproduction mines behavior queries offline and searches
+//! them in a fully materialised monitoring graph. A production monitoring deployment
+//! instead watches a *live stream* of system events and must flag behavior instances as
+//! they happen. This crate provides that execution model:
+//!
+//! * [`CompiledQuery`] — a registered behavior query: a temporal pattern (TGMiner), a
+//!   non-temporal pattern (`Ntemp`), or a keyword label set (`NodeSet`);
+//! * [`Detector`] — the engine: queries are registered up front (each with its match
+//!   window), events arrive one at a time or in batches, and detections are emitted as
+//!   `(query, start_ts, end_ts)` intervals;
+//! * the temporal substrate lives in [`tgraph::IncrementalGraph`], and the per-edge
+//!   advance logic is shared with the offline search through [`query::matcher`].
+//!
+//! ## Consistency guarantee
+//!
+//! Replaying a monitoring graph's edges through a [`Detector`] yields, per query,
+//! exactly the intervals the offline functions [`query::search_temporal`],
+//! [`query::search_static`] and [`query::search_nodeset`] return on that graph (order
+//! may differ — streaming emits at completion time, offline in anchor order). This holds
+//! by construction: both sides drive the same state machines over the same edge order.
+//! `tests/stream_parity.rs` at the workspace root checks it property-style on random
+//! graphs and on generated `syscall` datasets.
+
+pub mod detector;
+
+pub use detector::{CompiledQuery, Detection, Detector, QueryId};

@@ -238,7 +238,10 @@ impl Behavior {
 
     /// Behaviors belonging to the given size class.
     pub fn by_size_class(class: SizeClass) -> Vec<Behavior> {
-        Behavior::all().into_iter().filter(|b| b.profile().size_class == class).collect()
+        Behavior::all()
+            .into_iter()
+            .filter(|b| b.profile().size_class == class)
+            .collect()
     }
 
     /// The ordered signature events of this behavior: the discriminative temporal core
@@ -376,7 +379,11 @@ impl Behavior {
                 (p("apt-get"), f("/var/lib/dpkg/status"), Read),
                 (p("apt-get"), p("http-method"), Fork),
                 (p("http-method"), s("archive.ubuntu.com:80"), Connect),
-                (p("http-method"), f("/var/cache/apt/archives/pkg.deb"), Write),
+                (
+                    p("http-method"),
+                    f("/var/cache/apt/archives/pkg.deb"),
+                    Write,
+                ),
                 (p("apt-get"), p("dpkg"), Fork),
                 (p("dpkg"), f("/var/cache/apt/archives/pkg.deb"), Read),
                 (p("dpkg"), f("/usr/bin/newtool"), Write),
@@ -509,12 +516,20 @@ fn noise_event(
         // Behavior-specific auxiliary files: give each behavior its own label variety.
         let idx = rng.gen_range(0..unique_label_pool);
         let file = Entity::file(format!("/opt/{behavior_name}/data-{idx}"));
-        let syscall = if rng.gen_bool(0.5) { SyscallType::Read } else { SyscallType::Write };
+        let syscall = if rng.gen_bool(0.5) {
+            SyscallType::Read
+        } else {
+            SyscallType::Write
+        };
         (main.clone(), file, syscall)
     } else if roll < 0.95 {
         // Scratch files in /tmp.
         let idx = rng.gen_range(0..unique_label_pool.max(4));
-        (main.clone(), Entity::file(format!("/tmp/{behavior_name}-{idx}.tmp")), SyscallType::Write)
+        (
+            main.clone(),
+            Entity::file(format!("/tmp/{behavior_name}-{idx}.tmp")),
+            SyscallType::Write,
+        )
     } else {
         // A helper process peeking at the main process (e.g. a monitoring agent).
         let helper = Entity::process(format!("agent-{}", rng.gen_range(0..3)));
@@ -550,8 +565,16 @@ mod tests {
             assert!(sig.len() >= 6, "{} signature too short", behavior.name());
             let mut seen = std::collections::HashSet::new();
             for event in &sig {
-                let key = (event.0.label_string(), event.1.label_string(), format!("{:?}", event.2));
-                assert!(seen.insert(key), "{} has a duplicate signature event", behavior.name());
+                let key = (
+                    event.0.label_string(),
+                    event.1.label_string(),
+                    format!("{:?}", event.2),
+                );
+                assert!(
+                    seen.insert(key),
+                    "{} has a duplicate signature event",
+                    behavior.name()
+                );
             }
         }
     }
@@ -571,7 +594,12 @@ mod tests {
                     }
                 }
             }
-            assert_eq!(cursor, signature.len(), "{} lost its signature", behavior.name());
+            assert_eq!(
+                cursor,
+                signature.len(),
+                "{} lost its signature",
+                behavior.name()
+            );
         }
     }
 

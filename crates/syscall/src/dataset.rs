@@ -121,7 +121,9 @@ impl TrainingData {
             .map(|behavior| {
                 let graphs = (0..config.graphs_per_behavior)
                     .map(|_| {
-                        behavior.generate_instance(&mut rng, config.scale).to_temporal_graph(&mut interner)
+                        behavior
+                            .generate_instance(&mut rng, config.scale)
+                            .to_temporal_graph(&mut interner)
                     })
                     .collect();
                 BehaviorDataset { behavior, graphs }
@@ -132,7 +134,12 @@ impl TrainingData {
             .map(|_| generate_background_log(&mut rng, config).to_temporal_graph(&mut interner))
             .collect();
 
-        Self { interner, behaviors, background, config: *config }
+        Self {
+            interner,
+            behaviors,
+            background,
+            config: *config,
+        }
     }
 
     /// The positive graph set of `behavior`.
@@ -163,7 +170,10 @@ impl TrainingData {
 
     /// Iterates over every graph in the dataset (behaviors then background).
     pub fn all_graphs(&self) -> impl Iterator<Item = &TemporalGraph> {
-        self.behaviors.iter().flat_map(|d| d.graphs.iter()).chain(self.background.iter())
+        self.behaviors
+            .iter()
+            .flat_map(|d| d.graphs.iter())
+            .chain(self.background.iter())
     }
 
     /// Labels that carry no security-relevant information (shared libraries, /proc,
@@ -191,7 +201,9 @@ impl TrainingData {
     pub fn subsample(&self, fraction: f64) -> TrainingData {
         let fraction = fraction.clamp(0.0, 1.0);
         let take = |graphs: &Vec<TemporalGraph>| -> Vec<TemporalGraph> {
-            let n = ((graphs.len() as f64 * fraction).round() as usize).max(1).min(graphs.len());
+            let n = ((graphs.len() as f64 * fraction).round() as usize)
+                .max(1)
+                .min(graphs.len());
             graphs[..n].to_vec()
         };
         TrainingData {
@@ -199,7 +211,10 @@ impl TrainingData {
             behaviors: self
                 .behaviors
                 .iter()
-                .map(|d| BehaviorDataset { behavior: d.behavior, graphs: take(&d.graphs) })
+                .map(|d| BehaviorDataset {
+                    behavior: d.behavior,
+                    graphs: take(&d.graphs),
+                })
                 .collect(),
             background: take(&self.background),
             config: self.config,
@@ -221,7 +236,10 @@ impl TrainingData {
             behaviors: self
                 .behaviors
                 .iter()
-                .map(|d| BehaviorDataset { behavior: d.behavior, graphs: copy(&d.graphs) })
+                .map(|d| BehaviorDataset {
+                    behavior: d.behavior,
+                    graphs: copy(&d.graphs),
+                })
                 .collect(),
             background: copy(&self.background),
             config: self.config,
@@ -282,8 +300,16 @@ pub(crate) fn generate_background_log(rng: &mut StdRng, config: &DatasetConfig) 
 
 /// Emits `count` generic background noise events.
 fn emit_background_noise(rng: &mut StdRng, log: &mut SyscallLog, count: usize) {
-    const DAEMONS: [&str; 8] =
-        ["cron", "rsyslogd", "systemd", "snapd", "dbus-daemon", "irqbalance", "atd", "collectd"];
+    const DAEMONS: [&str; 8] = [
+        "cron",
+        "rsyslogd",
+        "systemd",
+        "snapd",
+        "dbus-daemon",
+        "irqbalance",
+        "atd",
+        "collectd",
+    ];
     for _ in 0..count {
         let daemon = Entity::process(DAEMONS[rng.gen_range(0..DAEMONS.len())]);
         let roll: f64 = rng.gen();
@@ -293,10 +319,18 @@ fn emit_background_noise(rng: &mut StdRng, log: &mut SyscallLog, count: usize) {
         } else if roll < 0.8 {
             // Background label variety: per-daemon working files.
             let idx = rng.gen_range(0..1_000u32);
-            (daemon, Entity::file(format!("/var/spool/bg-{idx}")), SyscallType::Write)
+            (
+                daemon,
+                Entity::file(format!("/var/spool/bg-{idx}")),
+                SyscallType::Write,
+            )
         } else if roll < 0.9 {
             let idx = rng.gen_range(0..200u32);
-            (daemon, Entity::file(format!("/var/log/syslog.{idx}")), SyscallType::Write)
+            (
+                daemon,
+                Entity::file(format!("/var/log/syslog.{idx}")),
+                SyscallType::Write,
+            )
         } else {
             let other = Entity::process(DAEMONS[rng.gen_range(0..DAEMONS.len())]);
             (daemon, other, SyscallType::Fork)
@@ -313,7 +347,10 @@ mod tests {
     fn generation_is_deterministic() {
         let a = TrainingData::generate(&DatasetConfig::tiny());
         let b = TrainingData::generate(&DatasetConfig::tiny());
-        assert_eq!(a.positives(Behavior::GzipDecompress), b.positives(Behavior::GzipDecompress));
+        assert_eq!(
+            a.positives(Behavior::GzipDecompress),
+            b.positives(Behavior::GzipDecompress)
+        );
         assert_eq!(a.negatives().len(), b.negatives().len());
         assert_eq!(a.negatives()[0], b.negatives()[0]);
     }
@@ -337,7 +374,11 @@ mod tests {
         let stats = data.stats();
         assert_eq!(stats.len(), 13);
         let edges_of = |name: &str| {
-            stats.iter().find(|s| s.name == name).map(|s| s.avg_edges).unwrap_or(0.0)
+            stats
+                .iter()
+                .find(|s| s.name == name)
+                .map(|s| s.avg_edges)
+                .unwrap_or(0.0)
         };
         // The relative ordering of trace sizes must match Table 1.
         assert!(edges_of("bzip2-decompress") < edges_of("scp-download"));
@@ -379,7 +420,10 @@ mod tests {
     fn background_graphs_sometimes_contain_decoys() {
         // With a high decoy rate, at least one background graph must contain the
         // sshd-login decoy labels (e.g. /etc/shadow reads by background activity).
-        let config = DatasetConfig { decoy_rate: 0.9, ..DatasetConfig::tiny() };
+        let config = DatasetConfig {
+            decoy_rate: 0.9,
+            ..DatasetConfig::tiny()
+        };
         let data = TrainingData::generate(&config);
         let shadow = data.interner.get("file:/etc/shadow");
         assert!(shadow.is_some());

@@ -44,22 +44,34 @@ pub struct Entity {
 impl Entity {
     /// Creates a process entity.
     pub fn process(name: impl Into<String>) -> Self {
-        Self { kind: EntityKind::Process, name: name.into() }
+        Self {
+            kind: EntityKind::Process,
+            name: name.into(),
+        }
     }
 
     /// Creates a file entity.
     pub fn file(name: impl Into<String>) -> Self {
-        Self { kind: EntityKind::File, name: name.into() }
+        Self {
+            kind: EntityKind::File,
+            name: name.into(),
+        }
     }
 
     /// Creates a socket entity.
     pub fn socket(name: impl Into<String>) -> Self {
-        Self { kind: EntityKind::Socket, name: name.into() }
+        Self {
+            kind: EntityKind::Socket,
+            name: name.into(),
+        }
     }
 
     /// Creates a pipe entity.
     pub fn pipe(name: impl Into<String>) -> Self {
-        Self { kind: EntityKind::Pipe, name: name.into() }
+        Self {
+            kind: EntityKind::Pipe,
+            name: name.into(),
+        }
     }
 
     /// The node label string used in temporal graphs.
@@ -81,8 +93,14 @@ mod tests {
     #[test]
     fn label_strings_follow_kind_prefixes() {
         assert_eq!(Entity::process("sshd").label_string(), "proc:sshd");
-        assert_eq!(Entity::file("/etc/passwd").label_string(), "file:/etc/passwd");
-        assert_eq!(Entity::socket("10.0.0.2:22").label_string(), "socket:10.0.0.2:22");
+        assert_eq!(
+            Entity::file("/etc/passwd").label_string(),
+            "file:/etc/passwd"
+        );
+        assert_eq!(
+            Entity::socket("10.0.0.2:22").label_string(),
+            "socket:10.0.0.2:22"
+        );
         assert_eq!(Entity::pipe("p1").label_string(), "pipe:p1");
     }
 

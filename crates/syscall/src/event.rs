@@ -37,7 +37,10 @@ impl SyscallType {
     /// from the subject to the object (writes, execs, connects, ...). The temporal graph
     /// edge follows the direction of information flow.
     pub fn flows_to_subject(self) -> bool {
-        matches!(self, SyscallType::Read | SyscallType::Recv | SyscallType::Accept)
+        matches!(
+            self,
+            SyscallType::Read | SyscallType::Recv | SyscallType::Accept
+        )
     }
 }
 

@@ -14,12 +14,15 @@
 //!   Table 1 statistics, fractional subsampling, and SYN-k replication.
 //! * [`testdata`] — the large monitoring graph with ground-truth behavior intervals used
 //!   for precision/recall evaluation.
+//! * [`stream`] — replay adapter turning generated datasets into ordered, batched event
+//!   streams for the online detection engine.
 
 pub mod behaviors;
 pub mod dataset;
 pub mod entity;
 pub mod event;
 pub mod log;
+pub mod stream;
 pub mod testdata;
 
 pub use behaviors::{Behavior, BehaviorProfile, Confusability, SizeClass};
@@ -27,4 +30,5 @@ pub use dataset::{BehaviorDataset, BehaviorStats, DatasetConfig, TrainingData};
 pub use entity::{Entity, EntityKind};
 pub use event::{SyscallEvent, SyscallType};
 pub use log::SyscallLog;
+pub use stream::StreamSource;
 pub use testdata::{BehaviorInstance, TestData, TestDataConfig};

@@ -37,7 +37,12 @@ impl SyscallLog {
     /// Convenience: record an event with the next timestamp.
     pub fn record_next(&mut self, subject: Entity, object: Entity, syscall: SyscallType) {
         let ts = self.events.last().map(|e| e.ts + 1).unwrap_or(1);
-        self.events.push(SyscallEvent { ts, subject, object, syscall });
+        self.events.push(SyscallEvent {
+            ts,
+            subject,
+            object,
+            syscall,
+        });
     }
 
     /// The events in timestamp order.
@@ -72,12 +77,12 @@ impl SyscallLog {
         let mut builder = GraphBuilder::with_capacity(self.events.len(), self.events.len());
         for event in &self.events {
             let (src_entity, dst_entity) = event.edge_endpoints();
-            let src = *node_of.entry(src_entity.clone()).or_insert_with(|| {
-                builder.add_node(interner.intern(&src_entity.label_string()))
-            });
-            let dst = *node_of.entry(dst_entity.clone()).or_insert_with(|| {
-                builder.add_node(interner.intern(&dst_entity.label_string()))
-            });
+            let src = *node_of
+                .entry(src_entity.clone())
+                .or_insert_with(|| builder.add_node(interner.intern(&src_entity.label_string())));
+            let dst = *node_of
+                .entry(dst_entity.clone())
+                .or_insert_with(|| builder.add_node(interner.intern(&dst_entity.label_string())));
             builder
                 .add_edge(src, dst, event.ts)
                 .expect("record() keeps timestamps strictly increasing");
@@ -112,10 +117,26 @@ mod tests {
     #[test]
     fn conversion_deduplicates_entities() {
         let mut log = SyscallLog::new();
-        log.record_next(Entity::process("bash"), Entity::process("gzip"), SyscallType::Fork);
-        log.record_next(Entity::process("gzip"), Entity::file("/tmp/a.gz"), SyscallType::Read);
-        log.record_next(Entity::process("gzip"), Entity::file("/tmp/a"), SyscallType::Write);
-        log.record_next(Entity::process("gzip"), Entity::file("/tmp/a.gz"), SyscallType::Unlink);
+        log.record_next(
+            Entity::process("bash"),
+            Entity::process("gzip"),
+            SyscallType::Fork,
+        );
+        log.record_next(
+            Entity::process("gzip"),
+            Entity::file("/tmp/a.gz"),
+            SyscallType::Read,
+        );
+        log.record_next(
+            Entity::process("gzip"),
+            Entity::file("/tmp/a"),
+            SyscallType::Write,
+        );
+        log.record_next(
+            Entity::process("gzip"),
+            Entity::file("/tmp/a.gz"),
+            SyscallType::Unlink,
+        );
         let mut interner = LabelInterner::new();
         let g = log.to_temporal_graph(&mut interner);
         assert_eq!(g.node_count(), 4); // bash, gzip, a.gz, a
@@ -126,7 +147,11 @@ mod tests {
     #[test]
     fn read_edges_point_into_the_process() {
         let mut log = SyscallLog::new();
-        log.record_next(Entity::process("cat"), Entity::file("/etc/passwd"), SyscallType::Read);
+        log.record_next(
+            Entity::process("cat"),
+            Entity::file("/etc/passwd"),
+            SyscallType::Read,
+        );
         let mut interner = LabelInterner::new();
         let g = log.to_temporal_graph(&mut interner);
         let edge = g.edge(0);

@@ -46,17 +46,38 @@ pub struct TestDataConfig {
 impl TestDataConfig {
     /// Paper-scale test data (10,000 instances, millions of edges).
     pub fn paper() -> Self {
-        Self { instances: 10_000, scale: 1.0, noise_between: 600, decoy_rate: 0.05, dropout: 0.08, seed: 777 }
+        Self {
+            instances: 10_000,
+            scale: 1.0,
+            noise_between: 600,
+            decoy_rate: 0.05,
+            dropout: 0.08,
+            seed: 777,
+        }
     }
 
     /// Reduced test data that evaluates in seconds.
     pub fn small() -> Self {
-        Self { instances: 240, scale: 0.25, noise_between: 60, decoy_rate: 0.05, dropout: 0.08, seed: 777 }
+        Self {
+            instances: 240,
+            scale: 0.25,
+            noise_between: 60,
+            decoy_rate: 0.05,
+            dropout: 0.08,
+            seed: 777,
+        }
     }
 
     /// Tiny test data for unit tests.
     pub fn tiny() -> Self {
-        Self { instances: 36, scale: 0.15, noise_between: 20, decoy_rate: 0.1, dropout: 0.1, seed: 13 }
+        Self {
+            instances: 36,
+            scale: 0.15,
+            noise_between: 20,
+            decoy_rate: 0.1,
+            dropout: 0.1,
+            seed: 13,
+        }
     }
 
     /// Derives a test configuration consistent with a training configuration.
@@ -143,7 +164,11 @@ impl TestData {
             }
             let start_ts = ts + 1;
             emit_log(&mut builder, &mut interner, &log, &mut ts);
-            instances.push(BehaviorInstance { behavior, start_ts, end_ts: ts });
+            instances.push(BehaviorInstance {
+                behavior,
+                start_ts,
+                end_ts: ts,
+            });
         }
         // Trailing background noise.
         let noise = background_segment(&mut rng, config.noise_between);
@@ -154,7 +179,12 @@ impl TestData {
             .map(|i| i.end_ts - i.start_ts + 1)
             .max()
             .unwrap_or(1);
-        TestData { graph: builder.build(), interner, instances, max_duration }
+        TestData {
+            graph: builder.build(),
+            interner,
+            instances,
+            max_duration,
+        }
     }
 
     /// The ground-truth intervals of one behavior.
@@ -187,13 +217,19 @@ fn emit_log(
             .entry(dst_label.clone())
             .or_insert_with(|| builder.add_node(interner.intern(&dst_label)));
         *ts += 1;
-        builder.add_edge(src, dst, *ts).expect("timestamps strictly increase");
+        builder
+            .add_edge(src, dst, *ts)
+            .expect("timestamps strictly increase");
     }
 }
 
 /// Generic background noise of the requested length.
 fn background_segment(rng: &mut StdRng, target: usize) -> SyscallLog {
-    let config = DatasetConfig { decoy_rate: 0.0, scale: 1.0, ..DatasetConfig::tiny() };
+    let config = DatasetConfig {
+        decoy_rate: 0.0,
+        scale: 1.0,
+        ..DatasetConfig::tiny()
+    };
     let mut log = SyscallLog::new();
     // Reuse the training background event mix, but with the decoys disabled (decoys are
     // inserted explicitly by the test-data generator so their positions are controlled).
@@ -214,7 +250,10 @@ fn background_segment(rng: &mut StdRng, target: usize) -> SyscallLog {
 /// Removes one random signature event from an instance log (recall dropout).
 fn drop_one_signature_event(rng: &mut StdRng, behavior: Behavior, log: SyscallLog) -> SyscallLog {
     let signature = behavior.signature();
-    let victim = signature.choose(rng).expect("signatures are non-empty").clone();
+    let victim = signature
+        .choose(rng)
+        .expect("signatures are non-empty")
+        .clone();
     let mut out = SyscallLog::new();
     let mut dropped = false;
     for event in log.events() {
@@ -272,7 +311,10 @@ mod tests {
     #[test]
     fn labels_are_shared_with_a_training_interner() {
         let training = crate::dataset::TrainingData::generate(&DatasetConfig::tiny());
-        let sshd_label = training.interner.get("proc:sshd").expect("training contains sshd");
+        let sshd_label = training
+            .interner
+            .get("proc:sshd")
+            .expect("training contains sshd");
         let data = TestData::generate(&TestDataConfig::tiny(), training.interner.clone());
         assert_eq!(data.interner.get("proc:sshd"), Some(sshd_label));
         // The test graph actually contains that label.

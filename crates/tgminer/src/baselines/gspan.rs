@@ -29,11 +29,13 @@ pub struct StaticGraph {
 impl StaticGraph {
     /// Collapses a temporal graph: drops timestamps and merges multi-edges.
     pub fn from_temporal(graph: &TemporalGraph) -> Self {
-        let mut edges: Vec<(usize, usize)> =
-            graph.edges().iter().map(|e| (e.src, e.dst)).collect();
+        let mut edges: Vec<(usize, usize)> = graph.edges().iter().map(|e| (e.src, e.dst)).collect();
         edges.sort_unstable();
         edges.dedup();
-        Self { labels: graph.labels().to_vec(), edges }
+        Self {
+            labels: graph.labels().to_vec(),
+            edges,
+        }
     }
 
     /// Builds a static graph directly from parts (used for windowed query matching).
@@ -78,9 +80,15 @@ impl StaticPattern {
     pub fn single_edge(src_label: Label, dst_label: Label) -> Self {
         if src_label == dst_label {
             // Distinct nodes are still created; self-loop patterns are built explicitly.
-            return Self { labels: vec![src_label, dst_label], edges: vec![(0, 1)] };
+            return Self {
+                labels: vec![src_label, dst_label],
+                edges: vec![(0, 1)],
+            };
         }
-        Self { labels: vec![src_label, dst_label], edges: vec![(0, 1)] }
+        Self {
+            labels: vec![src_label, dst_label],
+            edges: vec![(0, 1)],
+        }
     }
 
     /// Number of nodes.
@@ -111,7 +119,10 @@ impl StaticPattern {
         for i in 1..=n {
             if i == n
                 || (self.labels[order[i]], self.degree_signature(order[i]))
-                    != (self.labels[order[start]], self.degree_signature(order[start]))
+                    != (
+                        self.labels[order[start]],
+                        self.degree_signature(order[start]),
+                    )
             {
                 buckets.push((start, i));
                 start = i;
@@ -148,8 +159,11 @@ impl StaticPattern {
         for &old in order {
             out.push(self.labels[old].id() as u64);
         }
-        let mut edges: Vec<(usize, usize)> =
-            self.edges.iter().map(|&(s, d)| (position[s], position[d])).collect();
+        let mut edges: Vec<(usize, usize)> = self
+            .edges
+            .iter()
+            .map(|&(s, d)| (position[s], position[d]))
+            .collect();
         edges.sort_unstable();
         for (s, d) in edges {
             out.push(((s as u64) << 32) | d as u64);
@@ -159,11 +173,7 @@ impl StaticPattern {
 
     /// Whether the pattern matches (subgraph-isomorphically, ignoring time) inside
     /// `graph`, considering only the data edges with storage index in `range`.
-    pub fn matches_in_window(
-        &self,
-        graph: &TemporalGraph,
-        range: std::ops::Range<usize>,
-    ) -> bool {
+    pub fn matches_in_window(&self, graph: &TemporalGraph, range: std::ops::Range<usize>) -> bool {
         let window_edges: Vec<(usize, usize)> = graph.edges()[range]
             .iter()
             .map(|e| (e.src, e.dst))
@@ -194,7 +204,11 @@ impl StaticPattern {
             if graph.label(ds) != self.labels[ps] || graph.label(dd) != self.labels[pd] {
                 continue;
             }
-            let src_ok = if node_map[ps] == usize::MAX { !used[ds] } else { node_map[ps] == ds };
+            let src_ok = if node_map[ps] == usize::MAX {
+                !used[ds]
+            } else {
+                node_map[ps] == ds
+            };
             if !src_ok {
                 continue;
             }
@@ -261,7 +275,11 @@ impl StaticPattern {
             if graph.label(ds) != self.labels[ps] || graph.label(dd) != self.labels[pd] {
                 continue;
             }
-            let src_ok = if node_map[ps] == usize::MAX { !used[ds] } else { node_map[ps] == ds };
+            let src_ok = if node_map[ps] == usize::MAX {
+                !used[ds]
+            } else {
+                node_map[ps] == ds
+            };
             if !src_ok {
                 continue;
             }
@@ -318,13 +336,11 @@ fn permute_buckets(
         return;
     }
     let (start, end) = buckets[bucket_idx];
-    permute_range(order, start, end, start, buckets, bucket_idx, visit);
+    permute_range(order, end, start, buckets, bucket_idx, visit);
 }
 
-#[allow(clippy::too_many_arguments)]
 fn permute_range(
     order: &mut Vec<usize>,
-    start: usize,
     end: usize,
     pos: usize,
     buckets: &[(usize, usize)],
@@ -337,7 +353,7 @@ fn permute_range(
     }
     for i in pos..end {
         order.swap(pos, i);
-        permute_range(order, start, end, pos + 1, buckets, bucket_idx, visit);
+        permute_range(order, end, pos + 1, buckets, bucket_idx, visit);
         order.swap(pos, i);
     }
 }
@@ -417,8 +433,16 @@ pub fn mine_nontemporal(
     }
 
     let mut patterns = miner.top;
-    patterns.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
-    NonTemporalResult { patterns, patterns_processed: miner.patterns_processed, elapsed: start.elapsed() }
+    patterns.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    NonTemporalResult {
+        patterns,
+        patterns_processed: miner.patterns_processed,
+        elapsed: start.elapsed(),
+    }
 }
 
 struct StaticMiner<'a> {
@@ -436,7 +460,10 @@ struct StaticMiner<'a> {
 impl StaticMiner<'_> {
     fn f_star(&self) -> f64 {
         if self.top.len() >= self.top_k {
-            self.top.last().map(|p| p.score).unwrap_or(f64::NEG_INFINITY)
+            self.top
+                .last()
+                .map(|p| p.score)
+                .unwrap_or(f64::NEG_INFINITY)
         } else {
             f64::NEG_INFINITY
         }
@@ -446,9 +473,17 @@ impl StaticMiner<'_> {
         if self.top.len() >= self.top_k && score <= self.f_star() {
             return;
         }
-        self.top.push(NonTemporalPattern { pattern: pattern.clone(), score, pos_freq, neg_freq });
-        self.top
-            .sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        self.top.push(NonTemporalPattern {
+            pattern: pattern.clone(),
+            score,
+            pos_freq,
+            neg_freq,
+        });
+        self.top.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         self.top.truncate(self.top_k);
     }
 
@@ -467,7 +502,10 @@ impl StaticMiner<'_> {
                 })
                 .collect()
         };
-        StaticOccurrences { pos: collect(self.positives), neg: collect(self.negatives) }
+        StaticOccurrences {
+            pos: collect(self.positives),
+            neg: collect(self.negatives),
+        }
     }
 
     fn dfs(&mut self, pattern: &StaticPattern, occ: &StaticOccurrences) {
@@ -586,17 +624,29 @@ mod tests {
     #[test]
     fn canonical_key_is_invariant_to_node_order() {
         // Same structure built in two node orders: A->B, A->C.
-        let p1 = StaticPattern { labels: vec![l(0), l(1), l(2)], edges: vec![(0, 1), (0, 2)] };
-        let p2 = StaticPattern { labels: vec![l(0), l(2), l(1)], edges: vec![(0, 2), (0, 1)] };
+        let p1 = StaticPattern {
+            labels: vec![l(0), l(1), l(2)],
+            edges: vec![(0, 1), (0, 2)],
+        };
+        let p2 = StaticPattern {
+            labels: vec![l(0), l(2), l(1)],
+            edges: vec![(0, 2), (0, 1)],
+        };
         assert_eq!(p1.canonical_key(), p2.canonical_key());
         // A different structure must get a different key.
-        let p3 = StaticPattern { labels: vec![l(0), l(1), l(2)], edges: vec![(0, 1), (1, 2)] };
+        let p3 = StaticPattern {
+            labels: vec![l(0), l(1), l(2)],
+            edges: vec![(0, 1), (1, 2)],
+        };
         assert_ne!(p1.canonical_key(), p3.canonical_key());
     }
 
     #[test]
     fn matching_ignores_temporal_order() {
-        let pattern = StaticPattern { labels: vec![l(0), l(1), l(2)], edges: vec![(0, 1), (1, 2)] };
+        let pattern = StaticPattern {
+            labels: vec![l(0), l(1), l(2)],
+            edges: vec![(0, 1), (1, 2)],
+        };
         // In this graph B->C happens *before* A->B; a temporal pattern would not match,
         // the static one does.
         let mut b = GraphBuilder::new();
@@ -624,7 +674,10 @@ mod tests {
 
     #[test]
     fn embeddings_are_injective() {
-        let pattern = StaticPattern { labels: vec![l(0), l(1), l(1)], edges: vec![(0, 1), (0, 2)] };
+        let pattern = StaticPattern {
+            labels: vec![l(0), l(1), l(1)],
+            edges: vec![(0, 1), (0, 2)],
+        };
         let g = StaticGraph::from_temporal(&chain(&[0, 1]));
         assert!(pattern.find_embeddings(&g, 10).is_empty());
     }

@@ -59,7 +59,12 @@ pub fn mine_nodeset_scored(
         .map(|(&label, &pc)| {
             let pos_freq = pc as f64 / np;
             let neg_freq = neg_counts.get(&label).copied().unwrap_or(0) as f64 / nn;
-            ScoredLabel { label, score: score.score(pos_freq, neg_freq), pos_freq, neg_freq }
+            ScoredLabel {
+                label,
+                score: score.score(pos_freq, neg_freq),
+                pos_freq,
+                neg_freq,
+            }
         })
         .collect();
     scored.sort_by(|a, b| {

@@ -59,18 +59,32 @@ impl MinerVariant {
 
     /// The miner configuration implementing this variant, with the given pattern-size cap.
     pub fn config(self, max_edges: usize) -> MinerConfig {
-        let base = MinerConfig { max_edges, ..MinerConfig::default() };
+        let base = MinerConfig {
+            max_edges,
+            ..MinerConfig::default()
+        };
         match self {
             MinerVariant::TgMiner => base,
-            MinerVariant::SubPrune => MinerConfig { use_supergraph_pruning: false, ..base },
-            MinerVariant::SupPrune => MinerConfig { use_subgraph_pruning: false, ..base },
-            MinerVariant::PruneGI => {
-                MinerConfig { subgraph_test: SubgraphTestAlgo::GraphIndex, ..base }
-            }
-            MinerVariant::PruneVF2 => MinerConfig { subgraph_test: SubgraphTestAlgo::Vf2, ..base },
-            MinerVariant::LinearScan => {
-                MinerConfig { residual_test: ResidualTestAlgo::LinearScan, ..base }
-            }
+            MinerVariant::SubPrune => MinerConfig {
+                use_supergraph_pruning: false,
+                ..base
+            },
+            MinerVariant::SupPrune => MinerConfig {
+                use_subgraph_pruning: false,
+                ..base
+            },
+            MinerVariant::PruneGI => MinerConfig {
+                subgraph_test: SubgraphTestAlgo::GraphIndex,
+                ..base
+            },
+            MinerVariant::PruneVF2 => MinerConfig {
+                subgraph_test: SubgraphTestAlgo::Vf2,
+                ..base
+            },
+            MinerVariant::LinearScan => MinerConfig {
+                residual_test: ResidualTestAlgo::LinearScan,
+                ..base
+            },
         }
     }
 }
@@ -96,9 +110,18 @@ mod tests {
 
         assert!(!MinerVariant::SubPrune.config(6).use_supergraph_pruning);
         assert!(!MinerVariant::SupPrune.config(6).use_subgraph_pruning);
-        assert_eq!(MinerVariant::PruneGI.config(6).subgraph_test, SubgraphTestAlgo::GraphIndex);
-        assert_eq!(MinerVariant::PruneVF2.config(6).subgraph_test, SubgraphTestAlgo::Vf2);
-        assert_eq!(MinerVariant::LinearScan.config(6).residual_test, ResidualTestAlgo::LinearScan);
+        assert_eq!(
+            MinerVariant::PruneGI.config(6).subgraph_test,
+            SubgraphTestAlgo::GraphIndex
+        );
+        assert_eq!(
+            MinerVariant::PruneVF2.config(6).subgraph_test,
+            SubgraphTestAlgo::Vf2
+        );
+        assert_eq!(
+            MinerVariant::LinearScan.config(6).residual_test,
+            ResidualTestAlgo::LinearScan
+        );
         assert_eq!(MinerVariant::PruneVF2.config(9).max_edges, 9);
     }
 }

@@ -74,12 +74,18 @@ impl Occurrences {
                     if embeddings.is_empty() {
                         None
                     } else {
-                        Some(GraphOccurrences { graph_id, embeddings })
+                        Some(GraphOccurrences {
+                            graph_id,
+                            embeddings,
+                        })
                     }
                 })
                 .collect()
         };
-        Self { pos: collect(positives), neg: collect(negatives) }
+        Self {
+            pos: collect(positives),
+            neg: collect(negatives),
+        }
     }
 
     /// Residual signature `I(Gp, g)` over the positive set (Lemma 6).
@@ -95,14 +101,18 @@ impl Occurrences {
     /// The positive residual graph set `R(Gp, g)` (set semantics).
     pub fn residual_set_pos(&self) -> ResidualSet {
         ResidualSet::from_embeddings(
-            self.pos.iter().map(|g| (g.graph_id, g.embeddings.as_slice())),
+            self.pos
+                .iter()
+                .map(|g| (g.graph_id, g.embeddings.as_slice())),
         )
     }
 
     /// The negative residual graph set `R(Gn, g)`.
     pub fn residual_set_neg(&self) -> ResidualSet {
         ResidualSet::from_embeddings(
-            self.neg.iter().map(|g| (g.graph_id, g.embeddings.as_slice())),
+            self.neg
+                .iter()
+                .map(|g| (g.graph_id, g.embeddings.as_slice())),
         )
     }
 }
@@ -152,7 +162,10 @@ mod tests {
         let sig = occ.residual_signature_pos(&positives);
         assert_eq!(sig.total_edges, 2);
         assert_eq!(sig.residual_count, 1);
-        assert_eq!(occ.residual_signature_neg(&[]), ResidualSignature::default());
+        assert_eq!(
+            occ.residual_signature_neg(&[]),
+            ResidualSignature::default()
+        );
     }
 
     #[test]

@@ -119,7 +119,10 @@ pub fn enumerate_extensions(
         .into_iter()
         .map(|(key, pos)| Extension {
             key,
-            occurrences: Occurrences { pos, neg: neg_children.remove(&key).unwrap_or_default() },
+            occurrences: Occurrences {
+                pos,
+                neg: neg_children.remove(&key).unwrap_or_default(),
+            },
         })
         .collect()
 }
@@ -147,12 +150,18 @@ fn extend_graph(
                         continue; // self-loop on an unmapped node cannot split
                     }
                     (
-                        ExtensionKey::Forward { src: s, dst_label: graph.label(edge.dst) },
+                        ExtensionKey::Forward {
+                            src: s,
+                            dst_label: graph.label(edge.dst),
+                        },
                         Some(edge.dst),
                     )
                 }
                 (None, Some(d)) => (
-                    ExtensionKey::Backward { src_label: graph.label(edge.src), dst: d },
+                    ExtensionKey::Backward {
+                        src_label: graph.label(edge.src),
+                        dst: d,
+                    },
                     Some(edge.src),
                 ),
                 (None, None) => continue,
@@ -170,13 +179,17 @@ fn extend_graph(
             if let Some(node) = new_node {
                 node_map.push(node);
             }
-            bucket.push(Embedding { node_map, last_edge_idx: idx });
+            bucket.push(Embedding {
+                node_map,
+                last_edge_idx: idx,
+            });
         }
     }
     for (key, embeddings) in local {
-        out.entry(key)
-            .or_default()
-            .push(GraphOccurrences { graph_id: graph_occ.graph_id, embeddings });
+        out.entry(key).or_default().push(GraphOccurrences {
+            graph_id: graph_occ.graph_id,
+            embeddings,
+        });
     }
 }
 
@@ -224,9 +237,15 @@ mod tests {
         let keys: Vec<ExtensionKey> = extensions.iter().map(|e| e.key).collect();
         // From the first A->B match (edge 0): B->C forward, A->B inward (edge 2),
         // D->A backward (edge 3). The second A->B match (edge 2) adds D->A backward only.
-        assert!(keys.contains(&ExtensionKey::Forward { src: 1, dst_label: l(2) }));
+        assert!(keys.contains(&ExtensionKey::Forward {
+            src: 1,
+            dst_label: l(2)
+        }));
         assert!(keys.contains(&ExtensionKey::Inward { src: 0, dst: 1 }));
-        assert!(keys.contains(&ExtensionKey::Backward { src_label: l(3), dst: 0 }));
+        assert!(keys.contains(&ExtensionKey::Backward {
+            src_label: l(3),
+            dst: 0
+        }));
         assert_eq!(keys.len(), 3);
     }
 
@@ -239,13 +258,25 @@ mod tests {
         let extensions = enumerate_extensions(&occ, &positives, &negatives, 100);
         let forward = extensions
             .iter()
-            .find(|e| e.key == ExtensionKey::Forward { src: 1, dst_label: l(2) })
+            .find(|e| {
+                e.key
+                    == ExtensionKey::Forward {
+                        src: 1,
+                        dst_label: l(2),
+                    }
+            })
             .unwrap();
         assert_eq!(forward.occurrences.pos.len(), 1);
         assert_eq!(forward.occurrences.neg.len(), 1);
         let backward = extensions
             .iter()
-            .find(|e| e.key == ExtensionKey::Backward { src_label: l(3), dst: 0 })
+            .find(|e| {
+                e.key
+                    == ExtensionKey::Backward {
+                        src_label: l(3),
+                        dst: 0,
+                    }
+            })
             .unwrap();
         assert!(backward.occurrences.neg.is_empty());
     }
@@ -271,8 +302,14 @@ mod tests {
     #[test]
     fn extension_application_matches_kind() {
         let p = TemporalPattern::single_edge(l(0), l(1));
-        let fwd = ExtensionKey::Forward { src: 1, dst_label: l(2) };
-        let bwd = ExtensionKey::Backward { src_label: l(3), dst: 0 };
+        let fwd = ExtensionKey::Forward {
+            src: 1,
+            dst_label: l(2),
+        };
+        let bwd = ExtensionKey::Backward {
+            src_label: l(3),
+            dst: 0,
+        };
         let inw = ExtensionKey::Inward { src: 0, dst: 1 };
         assert_eq!(fwd.kind(), GrowthKind::Forward);
         assert_eq!(bwd.kind(), GrowthKind::Backward);

@@ -149,10 +149,15 @@ pub fn mine(
     for (pattern, occ) in seed_patterns(positives, negatives, config.cap_per_graph) {
         miner.dfs(&pattern, &occ);
     }
-    let mut result = MiningResult { patterns: miner.top, stats: miner.stats };
-    result
-        .patterns
-        .sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    let mut result = MiningResult {
+        patterns: miner.top,
+        stats: miner.stats,
+    };
+    result.patterns.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     result.stats.elapsed = start.elapsed();
     result
 }
@@ -213,10 +218,16 @@ fn collect_seed_occurrences(
             if bucket.len() >= cap_per_graph {
                 continue;
             }
-            bucket.push(Embedding { node_map, last_edge_idx: idx });
+            bucket.push(Embedding {
+                node_map,
+                last_edge_idx: idx,
+            });
         }
         for (key, embeddings) in local {
-            out.entry(key).or_default().push(GraphOccurrences { graph_id, embeddings });
+            out.entry(key).or_default().push(GraphOccurrences {
+                graph_id,
+                embeddings,
+            });
         }
     }
     out
@@ -237,7 +248,10 @@ impl Miner<'_> {
     /// Current pruning threshold `F*`: the k-th best score found so far.
     fn f_star(&self) -> f64 {
         if self.top.len() >= self.config.top_k {
-            self.top.last().map(|p| p.score).unwrap_or(f64::NEG_INFINITY)
+            self.top
+                .last()
+                .map(|p| p.score)
+                .unwrap_or(f64::NEG_INFINITY)
         } else {
             f64::NEG_INFINITY
         }
@@ -248,9 +262,17 @@ impl Miner<'_> {
         if self.top.len() >= self.config.top_k && score <= self.f_star() {
             return;
         }
-        self.top.push(MinedPattern { pattern: pattern.clone(), score, pos_freq, neg_freq });
-        self.top
-            .sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        self.top.push(MinedPattern {
+            pattern: pattern.clone(),
+            score,
+            pos_freq,
+            neg_freq,
+        });
+        self.top.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         self.top.truncate(self.config.top_k);
     }
 
@@ -294,7 +316,11 @@ impl Miner<'_> {
         }
 
         // Subgraph / supergraph pruning (Section 4.2).
-        let facts = if pruning_enabled { Some(self.gather_facts(pattern, occ)) } else { None };
+        let facts = if pruning_enabled {
+            Some(self.gather_facts(pattern, occ))
+        } else {
+            None
+        };
         if let Some(facts) = &facts {
             let f_star = self.f_star();
             if let Some(reason) = self.registry.check(
@@ -312,14 +338,19 @@ impl Miner<'_> {
                 }
                 // The dominating entry proves this branch never reaches F*, which only
                 // grows, so registering it as dominated is sound.
-                self.registry.register(facts.clone(), f64::NEG_INFINITY, false);
+                self.registry
+                    .register(facts.clone(), f64::NEG_INFINITY, false);
                 return (branch_best, false);
             }
         }
 
         self.stats.patterns_expanded += 1;
-        let extensions =
-            enumerate_extensions(occ, self.positives, self.negatives, self.config.cap_per_graph);
+        let extensions = enumerate_extensions(
+            occ,
+            self.positives,
+            self.negatives,
+            self.config.cap_per_graph,
+        );
         self.stats.extensions_evaluated += extensions.len() as u64;
         let mut truncated = false;
         for extension in extensions {
@@ -340,7 +371,13 @@ impl Miner<'_> {
     }
 
     fn gather_facts(&self, pattern: &TemporalPattern, occ: &Occurrences) -> PatternFacts {
-        PatternFacts::gather(pattern, occ, self.positives, self.negatives, self.config.residual_test)
+        PatternFacts::gather(
+            pattern,
+            occ,
+            self.positives,
+            self.negatives,
+            self.config.residual_test,
+        )
     }
 }
 
@@ -388,7 +425,12 @@ mod tests {
     #[test]
     fn finds_the_temporally_discriminative_pattern() {
         let (positives, negatives) = datasets();
-        let result = mine(&positives, &negatives, &LogRatio::default(), &MinerConfig::default());
+        let result = mine(
+            &positives,
+            &negatives,
+            &LogRatio::default(),
+            &MinerConfig::default(),
+        );
         let best = result.best().expect("patterns found");
         // The chain A->B->C (in that order) occurs in every positive and no negative.
         assert!((best.pos_freq - 1.0).abs() < 1e-12);
@@ -398,7 +440,10 @@ mod tests {
         // involve both edges in order.
         let ab = TemporalPattern::single_edge(l(0), l(1));
         let ab_then_bc = ab.grow_forward(1, l(2)).unwrap();
-        assert!(tgraph::seqtest::is_temporal_subgraph(&ab_then_bc, &best.pattern));
+        assert!(tgraph::seqtest::is_temporal_subgraph(
+            &ab_then_bc,
+            &best.pattern
+        ));
     }
 
     #[test]
@@ -421,7 +466,10 @@ mod tests {
     #[test]
     fn pruned_and_unpruned_runs_agree_on_the_best_score() {
         let (positives, negatives) = datasets();
-        let full = MinerConfig { max_edges: 4, ..MinerConfig::default() };
+        let full = MinerConfig {
+            max_edges: 4,
+            ..MinerConfig::default()
+        };
         let naive = MinerConfig {
             max_edges: 4,
             use_subgraph_pruning: false,
@@ -439,7 +487,12 @@ mod tests {
     #[test]
     fn empty_positive_set_yields_no_patterns() {
         let negatives = vec![negative_graph()];
-        let result = mine(&[], &negatives, &LogRatio::default(), &MinerConfig::default());
+        let result = mine(
+            &[],
+            &negatives,
+            &LogRatio::default(),
+            &MinerConfig::default(),
+        );
         assert!(result.patterns.is_empty());
         assert_eq!(result.best_score(), f64::NEG_INFINITY);
     }
@@ -447,7 +500,12 @@ mod tests {
     #[test]
     fn stats_count_processed_patterns() {
         let (positives, negatives) = datasets();
-        let result = mine(&positives, &negatives, &LogRatio::default(), &MinerConfig::default());
+        let result = mine(
+            &positives,
+            &negatives,
+            &LogRatio::default(),
+            &MinerConfig::default(),
+        );
         assert!(result.stats.patterns_processed > 0);
         assert!(result.stats.patterns_expanded > 0);
         assert!(result.stats.embeddings_materialized > 0);

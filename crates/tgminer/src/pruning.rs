@@ -172,12 +172,17 @@ impl PruningRegistry {
     pub fn register(&mut self, facts: PatternFacts, branch_best: f64, truncated: bool) {
         let key = (facts.sig_pos.total_edges, facts.sig_pos.residual_count);
         let idx = self.entries.len();
-        self.entries.push(DiscoveredEntry { facts, branch_best, truncated });
+        self.entries.push(DiscoveredEntry {
+            facts,
+            branch_best,
+            truncated,
+        });
         self.by_sig_pos.entry(key).or_default().push(idx);
     }
 
     /// Checks whether the branch of the pattern described by `facts` can be pruned
     /// given the current threshold `f_star`. Work counters go into `stats`.
+    #[allow(clippy::too_many_arguments)]
     pub fn check(
         &self,
         facts: &PatternFacts,
@@ -195,8 +200,10 @@ impl PruningRegistry {
         let candidates = self.by_sig_pos.get(&key)?;
         for &idx in candidates {
             let entry = &self.entries[idx];
-            // Both prunings require the registered branch to be dominated.
-            if !(entry.branch_best < f_star) {
+            // Both prunings require the registered branch to be dominated. A branch
+            // whose best score is NaN is treated as not dominated (kept), matching the
+            // original `!(branch_best < f_star)` comparison.
+            if entry.branch_best.partial_cmp(&f_star) != Some(std::cmp::Ordering::Less) {
                 continue;
             }
             if self.use_subgraph
@@ -430,7 +437,11 @@ mod tests {
     fn subgraph_algo_variants_agree() {
         let small = TemporalPattern::single_edge(l(0), l(1));
         let big = small.clone().grow_forward(1, l(2)).unwrap();
-        for algo in [SubgraphTestAlgo::Sequence, SubgraphTestAlgo::Vf2, SubgraphTestAlgo::GraphIndex] {
+        for algo in [
+            SubgraphTestAlgo::Sequence,
+            SubgraphTestAlgo::Vf2,
+            SubgraphTestAlgo::GraphIndex,
+        ] {
             assert!(algo.test(&small, &big));
             assert!(!algo.test(&big, &small));
         }

@@ -29,7 +29,10 @@ impl InterestRanker {
                 *label_graph_freq.entry(label).or_insert(0) += 1;
             }
         }
-        Self { label_graph_freq, blacklist: HashSet::new() }
+        Self {
+            label_graph_freq,
+            blacklist: HashSet::new(),
+        }
     }
 
     /// Adds labels whose interest score is forced to zero (e.g. "TmpFile", "CacheFile").
@@ -147,7 +150,10 @@ mod tests {
         let mut patterns = vec![common.clone(), rare.clone()];
         ranker.rank(&mut patterns);
         assert_eq!(patterns[0].pattern, rare.pattern);
-        let higher_score = MinedPattern { score: 3.0, ..common };
+        let higher_score = MinedPattern {
+            score: 3.0,
+            ..common
+        };
         let mut patterns = vec![rare, higher_score.clone()];
         ranker.rank(&mut patterns);
         assert_eq!(patterns[0].pattern, higher_score.pattern);

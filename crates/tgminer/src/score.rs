@@ -65,8 +65,8 @@ impl ScoreFunction for GTest {
         let e = self.epsilon;
         let x = pos_freq.clamp(0.0, 1.0);
         let y = neg_freq.clamp(0.0, 1.0);
-        let g = 2.0
-            * (x * ((x + e) / (y + e)).ln() + (1.0 - x) * ((1.0 - x + e) / (1.0 - y + e)).ln());
+        let g =
+            2.0 * (x * ((x + e) / (y + e)).ln() + (1.0 - x) * ((1.0 - x + e) / (1.0 - y + e)).ln());
         if x >= y {
             g.abs()
         } else {
@@ -92,7 +92,10 @@ pub struct InfoGain {
 impl InfoGain {
     /// Creates an information-gain score for the given class sizes.
     pub fn new(positives: usize, negatives: usize) -> Self {
-        Self { positives: positives.max(1), negatives: negatives.max(1) }
+        Self {
+            positives: positives.max(1),
+            negatives: negatives.max(1),
+        }
     }
 }
 
@@ -121,8 +124,16 @@ impl ScoreFunction for InfoGain {
         let hit = hit_pos + hit_neg;
         let miss = total - hit;
         let h_prior = entropy(prior);
-        let h_hit = if hit > 0.0 { entropy(hit_pos / hit) } else { 0.0 };
-        let h_miss = if miss > 0.0 { entropy((np - hit_pos) / miss) } else { 0.0 };
+        let h_hit = if hit > 0.0 {
+            entropy(hit_pos / hit)
+        } else {
+            0.0
+        };
+        let h_miss = if miss > 0.0 {
+            entropy((np - hit_pos) / miss)
+        } else {
+            0.0
+        };
         let gain = h_prior - (hit / total) * h_hit - (miss / total) * h_miss;
         if pos_freq >= neg_freq {
             gain
@@ -174,7 +185,10 @@ mod tests {
         let f = GTest::default();
         let bound = f.upper_bound(0.8);
         for &(x, y) in &[(0.8, 0.0), (0.8, 0.3), (0.5, 0.2), (0.2, 0.6)] {
-            assert!(f.score(x, y) <= bound + 1e-9, "score({x},{y}) exceeded bound");
+            assert!(
+                f.score(x, y) <= bound + 1e-9,
+                "score({x},{y}) exceeded bound"
+            );
         }
     }
 

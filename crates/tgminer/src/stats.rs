@@ -100,8 +100,16 @@ mod tests {
 
     #[test]
     fn merge_adds_counters() {
-        let mut a = MiningStats { patterns_processed: 5, subgraph_tests: 7, ..Default::default() };
-        let b = MiningStats { patterns_processed: 3, subgraph_tests: 2, ..Default::default() };
+        let mut a = MiningStats {
+            patterns_processed: 5,
+            subgraph_tests: 7,
+            ..Default::default()
+        };
+        let b = MiningStats {
+            patterns_processed: 3,
+            subgraph_tests: 2,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.patterns_processed, 8);
         assert_eq!(a.subgraph_tests, 9);

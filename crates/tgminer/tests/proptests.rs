@@ -12,7 +12,11 @@ use tgraph::TemporalGraph;
 /// Builds a small random mining task: positives share structure by construction (same
 /// seed family), negatives are independent random graphs.
 fn random_task(seed: u64, graphs: usize) -> (Vec<TemporalGraph>, Vec<TemporalGraph>) {
-    let spec = RandomGraphSpec { nodes: 8, edges: 14, label_alphabet: 4 };
+    let spec = RandomGraphSpec {
+        nodes: 8,
+        edges: 14,
+        label_alphabet: 4,
+    };
     let positives = (0..graphs)
         .map(|i| random_t_connected_graph(seed.wrapping_mul(31).wrapping_add(i as u64 % 3), spec))
         .collect();

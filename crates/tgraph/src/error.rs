@@ -31,13 +31,25 @@ pub enum GraphError {
     DisconnectedGrowth,
     /// The graph is empty where a non-empty graph is required.
     EmptyGraph,
+    /// A stream event re-announced an existing node with a different label.
+    LabelConflict {
+        /// The node whose label was contradicted.
+        node: usize,
+        /// The label the node was first announced with (as a raw id).
+        existing: u32,
+        /// The conflicting label from the new event (as a raw id).
+        new: u32,
+    },
 }
 
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::UnknownNode { node, node_count } => {
-                write!(f, "edge references node {node} but graph has {node_count} nodes")
+                write!(
+                    f,
+                    "edge references node {node} but graph has {node_count} nodes"
+                )
             }
             GraphError::NonMonotonicTimestamp { previous, current } => write!(
                 f,
@@ -51,6 +63,14 @@ impl fmt::Display for GraphError {
                 write!(f, "growth edge does not touch the existing pattern")
             }
             GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+            GraphError::LabelConflict {
+                node,
+                existing,
+                new,
+            } => write!(
+                f,
+                "stream event relabels node {node}: announced as L{existing}, now L{new}"
+            ),
         }
     }
 }

@@ -22,7 +22,11 @@ pub struct RandomGraphSpec {
 
 impl Default for RandomGraphSpec {
     fn default() -> Self {
-        Self { nodes: 20, edges: 40, label_alphabet: 8 }
+        Self {
+            nodes: 20,
+            edges: 40,
+            label_alphabet: 8,
+        }
     }
 }
 
@@ -50,7 +54,11 @@ pub fn random_t_connected_graph(seed: u64, spec: RandomGraphSpec) -> TemporalGra
         let ts = (i + 1) as u64;
         let anchor = touched[rng.gen_range(0..touched.len())];
         let other = rng.gen_range(0..nodes);
-        let (src, dst) = if rng.gen_bool(0.5) { (anchor, other) } else { (other, anchor) };
+        let (src, dst) = if rng.gen_bool(0.5) {
+            (anchor, other)
+        } else {
+            (other, anchor)
+        };
         builder.add_edge(src, dst, ts).expect("valid edge");
         for node in [src, dst] {
             if !in_touched[node] {
@@ -129,9 +137,16 @@ mod tests {
     #[test]
     fn random_graphs_are_t_connected_and_sized() {
         for seed in 0..20 {
-            let spec = RandomGraphSpec { nodes: 15, edges: 30, label_alphabet: 5 };
+            let spec = RandomGraphSpec {
+                nodes: 15,
+                edges: 30,
+                label_alphabet: 5,
+            };
             let g = random_t_connected_graph(seed, spec);
-            assert!(is_t_connected(&g), "seed {seed} produced a non T-connected graph");
+            assert!(
+                is_t_connected(&g),
+                "seed {seed} produced a non T-connected graph"
+            );
             assert_eq!(g.edge_count(), 30);
             assert_eq!(g.node_count(), 15);
         }
@@ -141,7 +156,10 @@ mod tests {
     fn random_patterns_are_canonical_and_t_connected() {
         for seed in 0..20 {
             let p = random_pattern(seed, 10, 6);
-            assert!(p.is_canonical(), "seed {seed} produced a non-canonical pattern");
+            assert!(
+                p.is_canonical(),
+                "seed {seed} produced a non-canonical pattern"
+            );
             assert!(is_pattern_t_connected(&p));
             assert_eq!(p.edge_count(), 10);
         }

@@ -30,7 +30,10 @@ impl OneEdgeIndex {
 
     /// Edge positions whose endpoint labels match `(src, dst)`.
     pub fn candidates(&self, src: Label, dst: Label) -> &[usize] {
-        self.postings.get(&(src, dst)).map(Vec::as_slice).unwrap_or(&[])
+        self.postings
+            .get(&(src, dst))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Number of distinct label pairs indexed.
@@ -54,7 +57,10 @@ pub fn gindex_temporal_subgraph(g1: &TemporalPattern, g2: &TemporalPattern) -> b
     let index = OneEdgeIndex::build(g2);
     // Quick infeasibility check from the index alone.
     for edge in g1.edges() {
-        if index.candidates(g1.label(edge.src), g1.label(edge.dst)).is_empty() {
+        if index
+            .candidates(g1.label(edge.src), g1.label(edge.dst))
+            .is_empty()
+        {
             return false;
         }
     }
@@ -83,8 +89,14 @@ fn join(
             continue;
         }
         let data_edge = g2.edges()[pos];
-        let (ok, bound_src, bound_dst) =
-            try_bind(edge.src, edge.dst, data_edge.src, data_edge.dst, node_map, used);
+        let (ok, bound_src, bound_dst) = try_bind(
+            edge.src,
+            edge.dst,
+            data_edge.src,
+            data_edge.dst,
+            node_map,
+            used,
+        );
         if !ok {
             continue;
         }
@@ -185,8 +197,15 @@ mod tests {
 
     #[test]
     fn agrees_with_sequence_test() {
-        let small = TemporalPattern::single_edge(l(0), l(1)).grow_forward(1, l(2)).unwrap();
-        let big = small.clone().grow_backward(l(3), 0).unwrap().grow_inward(0, 1).unwrap();
+        let small = TemporalPattern::single_edge(l(0), l(1))
+            .grow_forward(1, l(2))
+            .unwrap();
+        let big = small
+            .clone()
+            .grow_backward(l(3), 0)
+            .unwrap()
+            .grow_inward(0, 1)
+            .unwrap();
         assert!(gindex_temporal_subgraph(&small, &big));
         assert!(!gindex_temporal_subgraph(&big, &small));
         assert_eq!(
@@ -197,8 +216,12 @@ mod tests {
 
     #[test]
     fn respects_temporal_order() {
-        let g_a = TemporalPattern::single_edge(l(0), l(1)).grow_forward(1, l(2)).unwrap();
-        let g_b = TemporalPattern::single_edge(l(1), l(2)).grow_backward(l(0), 0).unwrap();
+        let g_a = TemporalPattern::single_edge(l(0), l(1))
+            .grow_forward(1, l(2))
+            .unwrap();
+        let g_b = TemporalPattern::single_edge(l(1), l(2))
+            .grow_backward(l(0), 0)
+            .unwrap();
         assert!(!gindex_temporal_subgraph(&g_a, &g_b));
     }
 
@@ -214,7 +237,9 @@ mod tests {
     #[test]
     fn missing_label_pair_short_circuits() {
         let g1 = TemporalPattern::single_edge(l(9), l(9));
-        let g2 = TemporalPattern::single_edge(l(0), l(1)).grow_forward(1, l(2)).unwrap();
+        let g2 = TemporalPattern::single_edge(l(0), l(1))
+            .grow_forward(1, l(2))
+            .unwrap();
         assert!(!gindex_temporal_subgraph(&g1, &g2));
     }
 }

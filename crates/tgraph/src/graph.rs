@@ -37,10 +37,16 @@ impl TemporalGraph {
         let mut prev_ts: Option<u64> = None;
         for edge in &edges {
             if edge.src >= node_count {
-                return Err(GraphError::UnknownNode { node: edge.src, node_count });
+                return Err(GraphError::UnknownNode {
+                    node: edge.src,
+                    node_count,
+                });
             }
             if edge.dst >= node_count {
-                return Err(GraphError::UnknownNode { node: edge.dst, node_count });
+                return Err(GraphError::UnknownNode {
+                    node: edge.dst,
+                    node_count,
+                });
             }
             if let Some(prev) = prev_ts {
                 if edge.ts <= prev {
@@ -173,14 +179,23 @@ impl GraphBuilder {
     /// Adds an edge. The timestamp must be strictly larger than the previous edge's.
     pub fn add_edge(&mut self, src: usize, dst: usize, ts: u64) -> Result<(), GraphError> {
         if src >= self.labels.len() {
-            return Err(GraphError::UnknownNode { node: src, node_count: self.labels.len() });
+            return Err(GraphError::UnknownNode {
+                node: src,
+                node_count: self.labels.len(),
+            });
         }
         if dst >= self.labels.len() {
-            return Err(GraphError::UnknownNode { node: dst, node_count: self.labels.len() });
+            return Err(GraphError::UnknownNode {
+                node: dst,
+                node_count: self.labels.len(),
+            });
         }
         if let Some(last) = self.edges.last() {
             if ts <= last.ts {
-                return Err(GraphError::NonMonotonicTimestamp { previous: last.ts, current: ts });
+                return Err(GraphError::NonMonotonicTimestamp {
+                    previous: last.ts,
+                    current: ts,
+                });
             }
         }
         self.edges.push(TemporalEdge { ts, src, dst });
@@ -211,7 +226,10 @@ impl GraphBuilder {
 
     /// Finalizes the graph. Validation already happened incrementally, so this cannot fail.
     pub fn build(self) -> TemporalGraph {
-        TemporalGraph { labels: self.labels, edges: self.edges }
+        TemporalGraph {
+            labels: self.labels,
+            edges: self.edges,
+        }
     }
 }
 
@@ -234,7 +252,14 @@ mod tests {
         assert_eq!(g.node_count(), 2);
         assert_eq!(g.edge_count(), 2);
         assert_eq!(g.label(0), Label(0));
-        assert_eq!(g.edge(0), TemporalEdge { ts: 5, src: 0, dst: 1 });
+        assert_eq!(
+            g.edge(0),
+            TemporalEdge {
+                ts: 5,
+                src: 0,
+                dst: 1
+            }
+        );
         assert_eq!(g.timespan(), Some((5, 9)));
     }
 
@@ -253,15 +278,29 @@ mod tests {
         let c = b.add_node(Label(1));
         b.add_edge(a, c, 5).unwrap();
         let err = b.add_edge(c, a, 5).unwrap_err();
-        assert!(matches!(err, GraphError::NonMonotonicTimestamp { previous: 5, current: 5 }));
+        assert!(matches!(
+            err,
+            GraphError::NonMonotonicTimestamp {
+                previous: 5,
+                current: 5
+            }
+        ));
     }
 
     #[test]
     fn new_validates_edges() {
         let labels = vec![Label(0), Label(1)];
         let edges = vec![
-            TemporalEdge { ts: 2, src: 0, dst: 1 },
-            TemporalEdge { ts: 1, src: 1, dst: 0 },
+            TemporalEdge {
+                ts: 2,
+                src: 0,
+                dst: 1,
+            },
+            TemporalEdge {
+                ts: 1,
+                src: 1,
+                dst: 0,
+            },
         ];
         assert!(TemporalGraph::new(labels, edges).is_err());
     }

@@ -138,7 +138,10 @@ mod tests {
         let mut interner = LabelInterner::new();
         interner.intern("x");
         interner.intern("y");
-        let collected: Vec<_> = interner.iter().map(|(l, n)| (l.id(), n.to_owned())).collect();
+        let collected: Vec<_> = interner
+            .iter()
+            .map(|(l, n)| (l.id(), n.to_owned()))
+            .collect();
         assert_eq!(collected, vec![(0, "x".to_owned()), (1, "y".to_owned())]);
     }
 }

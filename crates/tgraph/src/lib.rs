@@ -17,11 +17,15 @@
 //! * Residual graphs, residual node label postings, and the integer compression
 //!   `I(G, g)` of Section 4.4 ([`residual`]).
 //! * Seedable random graph/pattern generators for tests and benchmarks ([`generator`]).
+//! * The streaming substrate ([`incremental`]): self-describing stream events, the
+//!   graph-wide label-pair postings index, and the incrementally grown temporal graph
+//!   with a sliding retention window.
 
 pub mod error;
 pub mod generator;
 pub mod gindex;
 pub mod graph;
+pub mod incremental;
 pub mod label;
 pub mod matching;
 pub mod pattern;
@@ -34,6 +38,7 @@ pub mod vf2;
 
 pub use error::GraphError;
 pub use graph::{GraphBuilder, TemporalEdge, TemporalGraph};
+pub use incremental::{EdgePostings, IncrementalGraph, StreamEvent};
 pub use label::{Label, LabelInterner};
 pub use matching::{contains_pattern, find_embeddings, Embedding};
 pub use pattern::{GrowthKind, PatternEdge, TemporalPattern};

@@ -55,7 +55,16 @@ pub fn find_embeddings(
     }
     let mut node_map = vec![usize::MAX; pattern.node_count()];
     let mut used = vec![false; graph.node_count()];
-    recurse(pattern, graph, 0, 0, &mut node_map, &mut used, cap, &mut out);
+    recurse(
+        pattern,
+        graph,
+        0,
+        0,
+        &mut node_map,
+        &mut used,
+        cap,
+        &mut out,
+    );
     out
 }
 
@@ -76,7 +85,10 @@ fn recurse(
     out: &mut Vec<Embedding>,
 ) -> bool {
     if edge_idx == pattern.edge_count() {
-        out.push(Embedding { node_map: node_map.clone(), last_edge_idx: start - 1 });
+        out.push(Embedding {
+            node_map: node_map.clone(),
+            last_edge_idx: start - 1,
+        });
         return out.len() >= cap;
     }
     let p_edge = pattern.edges()[edge_idx];
@@ -98,7 +110,11 @@ fn recurse(
         }
         // Bind destination endpoint, handling pattern self-loops.
         let dst_prebound = node_map[p_edge.dst] != usize::MAX || p_edge.dst == p_edge.src;
-        let expected_dst = if p_edge.dst == p_edge.src { d_edge.src } else { node_map[p_edge.dst] };
+        let expected_dst = if p_edge.dst == p_edge.src {
+            d_edge.src
+        } else {
+            node_map[p_edge.dst]
+        };
         if dst_prebound {
             if expected_dst != d_edge.dst {
                 continue;
@@ -115,7 +131,16 @@ fn recurse(
             node_map[p_edge.dst] = d_edge.dst;
             used[d_edge.dst] = true;
         }
-        let full = recurse(pattern, graph, edge_idx + 1, data_idx + 1, node_map, used, cap, out);
+        let full = recurse(
+            pattern,
+            graph,
+            edge_idx + 1,
+            data_idx + 1,
+            node_map,
+            used,
+            cap,
+            out,
+        );
         if !dst_prebound {
             used[node_map[p_edge.dst]] = false;
             node_map[p_edge.dst] = usize::MAX;
@@ -158,7 +183,9 @@ mod tests {
     #[test]
     fn finds_all_embeddings_of_a_two_edge_pattern() {
         let g = data_graph();
-        let p = TemporalPattern::single_edge(l(0), l(1)).grow_forward(1, l(2)).unwrap();
+        let p = TemporalPattern::single_edge(l(0), l(1))
+            .grow_forward(1, l(2))
+            .unwrap();
         let embeddings = find_embeddings(&p, &g, usize::MAX);
         // A->B1->C (edges 0,1), A->B1 then B3->C? no: B1 != B3. A->B3->C (edges 2,3),
         // and A->B1 (edge 0) cannot pair with edge 3 because nodes differ.
@@ -175,7 +202,9 @@ mod tests {
         // Pattern: B -> C @1, A -> B @2 — requires an A->B edge after a B->C edge on the
         // same B node; B1's A->B edge (idx 0) precedes its B->C edge, B3's A->B (idx 2)
         // precedes its B->C (idx 3). So no match.
-        let p = TemporalPattern::single_edge(l(1), l(2)).grow_backward(l(0), 0).unwrap();
+        let p = TemporalPattern::single_edge(l(1), l(2))
+            .grow_backward(l(0), 0)
+            .unwrap();
         assert!(find_embeddings(&p, &g, usize::MAX).is_empty());
         assert!(!contains_pattern(&p, &g));
     }
@@ -200,7 +229,9 @@ mod tests {
     #[test]
     fn injectivity_is_enforced() {
         // Pattern with two distinct B nodes both fed by A.
-        let p = TemporalPattern::single_edge(l(0), l(1)).grow_forward(0, l(1)).unwrap();
+        let p = TemporalPattern::single_edge(l(0), l(1))
+            .grow_forward(0, l(1))
+            .unwrap();
         let g = data_graph();
         let embeddings = find_embeddings(&p, &g, usize::MAX);
         // Only the embedding using B1 (edge 0) then B3 (edge 2): distinct nodes.

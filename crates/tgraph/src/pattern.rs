@@ -108,7 +108,10 @@ impl TemporalPattern {
     /// Returns the grown pattern; `self` is unchanged.
     pub fn grow_forward(&self, src: usize, dst_label: Label) -> Result<Self, GraphError> {
         if src >= self.labels.len() {
-            return Err(GraphError::UnknownNode { node: src, node_count: self.labels.len() });
+            return Err(GraphError::UnknownNode {
+                node: src,
+                node_count: self.labels.len(),
+            });
         }
         let mut grown = self.clone();
         grown.labels.push(dst_label);
@@ -120,7 +123,10 @@ impl TemporalPattern {
     /// Grows the pattern by a backward edge: `new node (src_label) --|E|+1--> existing dst`.
     pub fn grow_backward(&self, src_label: Label, dst: usize) -> Result<Self, GraphError> {
         if dst >= self.labels.len() {
-            return Err(GraphError::UnknownNode { node: dst, node_count: self.labels.len() });
+            return Err(GraphError::UnknownNode {
+                node: dst,
+                node_count: self.labels.len(),
+            });
         }
         let mut grown = self.clone();
         grown.labels.push(src_label);
@@ -133,10 +139,16 @@ impl TemporalPattern {
     pub fn grow_inward(&self, src: usize, dst: usize) -> Result<Self, GraphError> {
         let n = self.labels.len();
         if src >= n {
-            return Err(GraphError::UnknownNode { node: src, node_count: n });
+            return Err(GraphError::UnknownNode {
+                node: src,
+                node_count: n,
+            });
         }
         if dst >= n {
-            return Err(GraphError::UnknownNode { node: dst, node_count: n });
+            return Err(GraphError::UnknownNode {
+                node: dst,
+                node_count: n,
+            });
         }
         let mut grown = self.clone();
         grown.edges.push(PatternEdge { src, dst });
@@ -349,7 +361,13 @@ mod tests {
         let p = TemporalPattern::from_graph(&g).unwrap();
         assert!(p.is_canonical());
         assert_eq!(p.labels(), &[l(0), l(1), l(9)]);
-        assert_eq!(p.edges(), &[PatternEdge { src: 0, dst: 1 }, PatternEdge { src: 1, dst: 2 }]);
+        assert_eq!(
+            p.edges(),
+            &[
+                PatternEdge { src: 0, dst: 1 },
+                PatternEdge { src: 1, dst: 2 }
+            ]
+        );
     }
 
     #[test]
@@ -372,9 +390,15 @@ mod tests {
 
     #[test]
     fn equality_is_structural_on_canonical_form() {
-        let a = TemporalPattern::single_edge(l(0), l(1)).grow_forward(1, l(2)).unwrap();
-        let b = TemporalPattern::single_edge(l(0), l(1)).grow_forward(1, l(2)).unwrap();
-        let c = TemporalPattern::single_edge(l(0), l(1)).grow_forward(0, l(2)).unwrap();
+        let a = TemporalPattern::single_edge(l(0), l(1))
+            .grow_forward(1, l(2))
+            .unwrap();
+        let b = TemporalPattern::single_edge(l(0), l(1))
+            .grow_forward(1, l(2))
+            .unwrap();
+        let c = TemporalPattern::single_edge(l(0), l(1))
+            .grow_forward(0, l(2))
+            .unwrap();
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
@@ -393,7 +417,10 @@ mod tests {
     fn disconnected_growth_is_detected_by_is_canonical() {
         let p = TemporalPattern {
             labels: vec![l(0), l(1), l(2), l(3)],
-            edges: vec![PatternEdge { src: 0, dst: 1 }, PatternEdge { src: 2, dst: 3 }],
+            edges: vec![
+                PatternEdge { src: 0, dst: 1 },
+                PatternEdge { src: 2, dst: 3 },
+            ],
         };
         assert!(!p.is_canonical());
     }

@@ -47,7 +47,10 @@ impl ResidualSet {
         let mut refs = BTreeSet::new();
         for (graph_id, embeddings) in per_graph {
             for embedding in embeddings {
-                refs.insert(ResidualRef { graph_id, suffix_start: embedding.last_edge_idx + 1 });
+                refs.insert(ResidualRef {
+                    graph_id,
+                    suffix_start: embedding.last_edge_idx + 1,
+                });
             }
         }
         Self { refs }
@@ -75,7 +78,10 @@ impl ResidualSet {
         for r in &self.refs {
             total += (graphs[r.graph_id].edge_count() - r.suffix_start) as u64;
         }
-        ResidualSignature { total_edges: total, residual_count: self.refs.len() as u64 }
+        ResidualSignature {
+            total_edges: total,
+            residual_count: self.refs.len() as u64,
+        }
     }
 
     /// Explicit, edge-by-edge equality of two residual sets. This is the "linear scan"
@@ -226,7 +232,9 @@ mod tests {
         let g = chain_graph();
         let graphs = vec![g];
         let p = TemporalPattern::single_edge(l(1), l(2));
-        let q = TemporalPattern::single_edge(l(0), l(1)).grow_forward(1, l(2)).unwrap();
+        let q = TemporalPattern::single_edge(l(0), l(1))
+            .grow_forward(1, l(2))
+            .unwrap();
         let ep = find_embeddings(&p, &graphs[0], usize::MAX);
         let eq = find_embeddings(&q, &graphs[0], usize::MAX);
         let sp = ResidualSet::from_embeddings([(0usize, ep.as_slice())]);
@@ -256,7 +264,10 @@ mod tests {
         for start in 0..=g.edge_count() {
             let labels = residual_label_set(&g, start);
             for i in 0..6u32 {
-                assert_eq!(labels.contains(&l(i)), postings.label_in_suffix(l(i), start));
+                assert_eq!(
+                    labels.contains(&l(i)),
+                    postings.label_in_suffix(l(i), start)
+                );
             }
         }
     }

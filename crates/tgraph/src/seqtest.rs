@@ -164,8 +164,15 @@ mod tests {
     /// The paper's Figure 3: G2 (3 edges) is a temporal subgraph of G1.
     #[test]
     fn pattern_is_subgraph_of_its_extension() {
-        let small = TemporalPattern::single_edge(l(0), l(1)).grow_forward(1, l(2)).unwrap();
-        let big = small.clone().grow_backward(l(3), 0).unwrap().grow_inward(0, 1).unwrap();
+        let small = TemporalPattern::single_edge(l(0), l(1))
+            .grow_forward(1, l(2))
+            .unwrap();
+        let big = small
+            .clone()
+            .grow_backward(l(3), 0)
+            .unwrap()
+            .grow_inward(0, 1)
+            .unwrap();
         assert!(is_temporal_subgraph(&small, &big));
         assert!(!is_temporal_subgraph(&big, &small));
     }
@@ -183,8 +190,12 @@ mod tests {
     #[test]
     fn temporal_order_matters() {
         // g_a: A->B then B->C ; g_b: B->C then A->B. Same structure, opposite order.
-        let g_a = TemporalPattern::single_edge(l(0), l(1)).grow_forward(1, l(2)).unwrap();
-        let g_b = TemporalPattern::single_edge(l(1), l(2)).grow_backward(l(0), 0).unwrap();
+        let g_a = TemporalPattern::single_edge(l(0), l(1))
+            .grow_forward(1, l(2))
+            .unwrap();
+        let g_b = TemporalPattern::single_edge(l(1), l(2))
+            .grow_backward(l(0), 0)
+            .unwrap();
         assert!(!is_temporal_subgraph(&g_a, &g_b));
         assert!(!is_temporal_subgraph(&g_b, &g_a));
     }
@@ -192,17 +203,25 @@ mod tests {
     #[test]
     fn label_mismatch_is_rejected_quickly() {
         let g1 = TemporalPattern::single_edge(l(7), l(8));
-        let g2 = TemporalPattern::single_edge(l(0), l(1)).grow_forward(1, l(2)).unwrap();
+        let g2 = TemporalPattern::single_edge(l(0), l(1))
+            .grow_forward(1, l(2))
+            .unwrap();
         assert!(!is_temporal_subgraph(&g1, &g2));
     }
 
     #[test]
     fn multi_edge_counts_must_be_respected() {
         // g1 has two A->B edges, g2 only one.
-        let g1 = TemporalPattern::single_edge(l(0), l(1)).grow_inward(0, 1).unwrap();
-        let g2 = TemporalPattern::single_edge(l(0), l(1)).grow_forward(1, l(2)).unwrap();
+        let g1 = TemporalPattern::single_edge(l(0), l(1))
+            .grow_inward(0, 1)
+            .unwrap();
+        let g2 = TemporalPattern::single_edge(l(0), l(1))
+            .grow_forward(1, l(2))
+            .unwrap();
         assert!(!is_temporal_subgraph(&g1, &g2));
-        let g3 = TemporalPattern::single_edge(l(0), l(1)).grow_inward(0, 1).unwrap();
+        let g3 = TemporalPattern::single_edge(l(0), l(1))
+            .grow_inward(0, 1)
+            .unwrap();
         assert!(is_temporal_subgraph(&g1, &g3));
     }
 
@@ -229,15 +248,21 @@ mod tests {
     #[test]
     fn requires_injective_node_mapping() {
         // g1 needs two distinct B nodes; g2 has only one.
-        let g1 = TemporalPattern::single_edge(l(0), l(1)).grow_forward(0, l(1)).unwrap();
-        let g2 = TemporalPattern::single_edge(l(0), l(1)).grow_inward(0, 1).unwrap();
+        let g1 = TemporalPattern::single_edge(l(0), l(1))
+            .grow_forward(0, l(1))
+            .unwrap();
+        let g2 = TemporalPattern::single_edge(l(0), l(1))
+            .grow_inward(0, 1)
+            .unwrap();
         assert!(!is_temporal_subgraph(&g1, &g2));
     }
 
     #[test]
     fn stats_are_accumulated() {
         let g1 = TemporalPattern::single_edge(l(0), l(1));
-        let g2 = TemporalPattern::single_edge(l(0), l(1)).grow_forward(1, l(2)).unwrap();
+        let g2 = TemporalPattern::single_edge(l(0), l(1))
+            .grow_forward(1, l(2))
+            .unwrap();
         let mut stats = SeqTestStats::default();
         assert!(is_temporal_subgraph_with_stats(&g1, &g2, &mut stats));
         assert!(stats.mappings_tried >= 1);

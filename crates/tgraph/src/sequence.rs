@@ -35,7 +35,10 @@ pub fn node_seq(pattern: &TemporalPattern) -> Vec<SeqNode> {
         for node in [edge.src, edge.dst] {
             if !seen[node] {
                 seen[node] = true;
-                seq.push(SeqNode { node, label: pattern.label(node) });
+                seq.push(SeqNode {
+                    node,
+                    label: pattern.label(node),
+                });
             }
         }
     }
@@ -55,9 +58,15 @@ pub fn enhanced_seq(pattern: &TemporalPattern) -> Vec<SeqNode> {
         let last_added = seq.last().map(|s| s.node);
         let skip_src = last_added == Some(edge.src) || prev_source == Some(edge.src);
         if !skip_src {
-            seq.push(SeqNode { node: edge.src, label: pattern.label(edge.src) });
+            seq.push(SeqNode {
+                node: edge.src,
+                label: pattern.label(edge.src),
+            });
         }
-        seq.push(SeqNode { node: edge.dst, label: pattern.label(edge.dst) });
+        seq.push(SeqNode {
+            node: edge.dst,
+            label: pattern.label(edge.dst),
+        });
         prev_source = Some(edge.src);
     }
     seq
@@ -105,7 +114,9 @@ mod tests {
     #[test]
     fn enhanced_seq_skips_repeated_sources() {
         // Pattern: A->B @1, A->C @2. Source A of edge 2 equals source of edge 1 => skipped.
-        let p = TemporalPattern::single_edge(l(0), l(1)).grow_forward(0, l(2)).unwrap();
+        let p = TemporalPattern::single_edge(l(0), l(1))
+            .grow_forward(0, l(2))
+            .unwrap();
         let seq = enhanced_seq(&p);
         let nodes: Vec<usize> = seq.iter().map(|s| s.node).collect();
         assert_eq!(nodes, vec![0, 1, 2]);
@@ -114,7 +125,9 @@ mod tests {
     #[test]
     fn enhanced_seq_skips_source_equal_to_last_added() {
         // Pattern: A->B @1, B->C @2. Source B of edge 2 is the last added node => skipped.
-        let p = TemporalPattern::single_edge(l(0), l(1)).grow_forward(1, l(2)).unwrap();
+        let p = TemporalPattern::single_edge(l(0), l(1))
+            .grow_forward(1, l(2))
+            .unwrap();
         let seq = enhanced_seq(&p);
         let nodes: Vec<usize> = seq.iter().map(|s| s.node).collect();
         assert_eq!(nodes, vec![0, 1, 2]);
@@ -137,7 +150,10 @@ mod tests {
     fn enhanced_seq_always_contains_node_seq_as_subsequence() {
         let g1 = figure9_g1();
         let nseq: Vec<(usize, Label)> = node_seq(&g1).iter().map(|s| (s.node, s.label)).collect();
-        let eseq: Vec<(usize, Label)> = enhanced_seq(&g1).iter().map(|s| (s.node, s.label)).collect();
+        let eseq: Vec<(usize, Label)> = enhanced_seq(&g1)
+            .iter()
+            .map(|s| (s.node, s.label))
+            .collect();
         assert!(crate::subseq::is_subsequence(&nseq, &eseq));
     }
 }

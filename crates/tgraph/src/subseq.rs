@@ -68,7 +68,10 @@ mod tests {
 
     #[test]
     fn positions_are_leftmost() {
-        assert_eq!(subsequence_positions(&[1, 3], &[1, 3, 1, 3]), Some(vec![0, 1]));
+        assert_eq!(
+            subsequence_positions(&[1, 3], &[1, 3, 1, 3]),
+            Some(vec![0, 1])
+        );
         assert_eq!(subsequence_positions(&[2, 2], &[2, 1, 2]), Some(vec![0, 2]));
         assert_eq!(subsequence_positions(&[2, 2], &[2, 1]), None);
     }

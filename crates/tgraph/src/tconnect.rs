@@ -16,7 +16,9 @@ struct UnionFind {
 
 impl UnionFind {
     fn new(n: usize) -> Self {
-        Self { parent: (0..n).collect() }
+        Self {
+            parent: (0..n).collect(),
+        }
     }
 
     fn find(&mut self, x: usize) -> usize {
@@ -44,7 +46,10 @@ impl UnionFind {
 /// The empty graph and single-edge graphs are T-connected. Isolated nodes (nodes with no
 /// incident edges) are ignored, mirroring the paper where graphs are edge-induced.
 pub fn is_t_connected(graph: &TemporalGraph) -> bool {
-    prefixes_connected(graph.node_count(), graph.edges().iter().map(|e| (e.src, e.dst)))
+    prefixes_connected(
+        graph.node_count(),
+        graph.edges().iter().map(|e| (e.src, e.dst)),
+    )
 }
 
 /// Returns whether a pattern is T-connected. Patterns built through consecutive growth

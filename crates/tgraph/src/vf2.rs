@@ -77,8 +77,16 @@ impl Vf2State<'_> {
             if !involves {
                 continue;
             }
-            let ms = if s == node { candidate } else { self.node_map[s] };
-            let md = if d == node { candidate } else { self.node_map[d] };
+            let ms = if s == node {
+                candidate
+            } else {
+                self.node_map[s]
+            };
+            let md = if d == node {
+                candidate
+            } else {
+                self.node_map[d]
+            };
             if ms == usize::MAX || md == usize::MAX {
                 continue;
             }
@@ -120,23 +128,39 @@ mod tests {
 
     #[test]
     fn agrees_with_sequence_test_on_simple_cases() {
-        let small = TemporalPattern::single_edge(l(0), l(1)).grow_forward(1, l(2)).unwrap();
-        let big = small.clone().grow_backward(l(3), 0).unwrap().grow_inward(0, 1).unwrap();
+        let small = TemporalPattern::single_edge(l(0), l(1))
+            .grow_forward(1, l(2))
+            .unwrap();
+        let big = small
+            .clone()
+            .grow_backward(l(3), 0)
+            .unwrap()
+            .grow_inward(0, 1)
+            .unwrap();
         assert!(vf2_temporal_subgraph(&small, &big));
         assert!(!vf2_temporal_subgraph(&big, &small));
-        assert_eq!(vf2_temporal_subgraph(&small, &big), is_temporal_subgraph(&small, &big));
+        assert_eq!(
+            vf2_temporal_subgraph(&small, &big),
+            is_temporal_subgraph(&small, &big)
+        );
     }
 
     #[test]
     fn rejects_order_violation() {
-        let g_a = TemporalPattern::single_edge(l(0), l(1)).grow_forward(1, l(2)).unwrap();
-        let g_b = TemporalPattern::single_edge(l(1), l(2)).grow_backward(l(0), 0).unwrap();
+        let g_a = TemporalPattern::single_edge(l(0), l(1))
+            .grow_forward(1, l(2))
+            .unwrap();
+        let g_b = TemporalPattern::single_edge(l(1), l(2))
+            .grow_backward(l(0), 0)
+            .unwrap();
         assert!(!vf2_temporal_subgraph(&g_a, &g_b));
     }
 
     #[test]
     fn respects_multi_edge_multiplicity() {
-        let double = TemporalPattern::single_edge(l(0), l(1)).grow_inward(0, 1).unwrap();
+        let double = TemporalPattern::single_edge(l(0), l(1))
+            .grow_inward(0, 1)
+            .unwrap();
         let single = TemporalPattern::single_edge(l(0), l(1));
         assert!(!vf2_temporal_subgraph(&double, &single));
         assert!(vf2_temporal_subgraph(&single, &double));

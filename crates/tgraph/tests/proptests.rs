@@ -5,7 +5,9 @@
 //! empirical counterpart of Lemma 5.
 
 use proptest::prelude::*;
-use tgraph::generator::{random_pattern, random_pattern_pair, random_t_connected_graph, RandomGraphSpec};
+use tgraph::generator::{
+    random_pattern, random_pattern_pair, random_t_connected_graph, RandomGraphSpec,
+};
 use tgraph::gindex::gindex_temporal_subgraph;
 use tgraph::matching::find_embeddings;
 use tgraph::pattern::TemporalPattern;

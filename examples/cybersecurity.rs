@@ -12,15 +12,30 @@ use behavior_query::syscall::{Behavior, DatasetConfig, TestData, TestDataConfig,
 
 fn main() {
     // Small synthetic datasets keep the example quick; see EXPERIMENTS.md for larger runs.
-    let training_config = DatasetConfig { graphs_per_behavior: 10, background_graphs: 40, ..DatasetConfig::small() };
+    let training_config = DatasetConfig {
+        graphs_per_behavior: 10,
+        background_graphs: 40,
+        ..DatasetConfig::small()
+    };
     let training = TrainingData::generate(&training_config);
     let test = TestData::generate(
-        &TestDataConfig { instances: 96, ..TestDataConfig::small() },
+        &TestDataConfig {
+            instances: 96,
+            ..TestDataConfig::small()
+        },
         training.interner.clone(),
     );
 
-    let options = QueryOptions { query_size: 5, top_queries: 3, ..QueryOptions::default() };
-    for behavior in [Behavior::SshdLogin, Behavior::WgetDownload, Behavior::FtpDownload] {
+    let options = QueryOptions {
+        query_size: 5,
+        top_queries: 3,
+        ..QueryOptions::default()
+    };
+    for behavior in [
+        Behavior::SshdLogin,
+        Behavior::WgetDownload,
+        Behavior::FtpDownload,
+    ] {
         println!("==== {} ====", behavior.name());
         let queries = formulate_queries(&training, behavior, &options);
 
@@ -31,8 +46,12 @@ fn main() {
                 println!(
                     "    t{}: {} -> {}",
                     t + 1,
-                    training.interner.name_or_placeholder(pattern.label(edge.src)),
-                    training.interner.name_or_placeholder(pattern.label(edge.dst)),
+                    training
+                        .interner
+                        .name_or_placeholder(pattern.label(edge.src)),
+                    training
+                        .interner
+                        .name_or_placeholder(pattern.label(edge.dst)),
                 );
             }
         }

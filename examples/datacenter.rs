@@ -29,9 +29,12 @@ fn disk_failure_episode(interner: &mut LabelInterner, rng: &mut StdRng) -> Tempo
         ts
     };
     b.add_edge(smart, disk, next(rng.gen_range(1..3))).unwrap();
-    b.add_edge(disk, db_stall, next(rng.gen_range(1..3))).unwrap();
-    b.add_edge(db_stall, slow_q, next(rng.gen_range(1..3))).unwrap();
-    b.add_edge(slow_q, timeout, next(rng.gen_range(1..3))).unwrap();
+    b.add_edge(disk, db_stall, next(rng.gen_range(1..3)))
+        .unwrap();
+    b.add_edge(db_stall, slow_q, next(rng.gen_range(1..3)))
+        .unwrap();
+    b.add_edge(slow_q, timeout, next(rng.gen_range(1..3)))
+        .unwrap();
     b.add_edge(timeout, cpu, next(rng.gen_range(1..3))).unwrap();
     b.build()
 }
@@ -51,23 +54,30 @@ fn heavy_workload_episode(interner: &mut LabelInterner, rng: &mut StdRng) -> Tem
         ts
     };
     b.add_edge(cpu, timeout, next(rng.gen_range(1..3))).unwrap();
-    b.add_edge(timeout, slow_q, next(rng.gen_range(1..3))).unwrap();
-    b.add_edge(slow_q, db_stall, next(rng.gen_range(1..3))).unwrap();
-    b.add_edge(db_stall, disk, next(rng.gen_range(1..3))).unwrap();
+    b.add_edge(timeout, slow_q, next(rng.gen_range(1..3)))
+        .unwrap();
+    b.add_edge(slow_q, db_stall, next(rng.gen_range(1..3)))
+        .unwrap();
+    b.add_edge(db_stall, disk, next(rng.gen_range(1..3)))
+        .unwrap();
     b.build()
 }
 
 fn main() {
     let mut interner = LabelInterner::new();
     let mut rng = StdRng::seed_from_u64(99);
-    let failures: Vec<TemporalGraph> =
-        (0..20).map(|_| disk_failure_episode(&mut interner, &mut rng)).collect();
-    let workloads: Vec<TemporalGraph> =
-        (0..20).map(|_| heavy_workload_episode(&mut interner, &mut rng)).collect();
+    let failures: Vec<TemporalGraph> = (0..20)
+        .map(|_| disk_failure_episode(&mut interner, &mut rng))
+        .collect();
+    let workloads: Vec<TemporalGraph> = (0..20)
+        .map(|_| heavy_workload_episode(&mut interner, &mut rng))
+        .collect();
 
     let config = MinerConfig::default().with_max_edges(3);
     let result = mine(&failures, &workloads, &LogRatio::default(), &config);
-    let best = result.best().expect("a discriminative alert pattern exists");
+    let best = result
+        .best()
+        .expect("a discriminative alert pattern exists");
 
     println!("Disk-failure behavior query (alert propagation pattern):");
     for (t, edge) in best.pattern.edges().iter().enumerate() {

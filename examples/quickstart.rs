@@ -47,14 +47,20 @@ fn main() {
     let config = MinerConfig::default().with_max_edges(4);
     let result = mine(&positives, &negatives, &LogRatio::default(), &config);
 
-    println!("mined {} candidate patterns ({} patterns processed, {:?} elapsed)",
-        result.patterns.len(), result.stats.patterns_processed, result.stats.elapsed);
+    println!(
+        "mined {} candidate patterns ({} patterns processed, {:?} elapsed)",
+        result.patterns.len(),
+        result.stats.patterns_processed,
+        result.stats.elapsed
+    );
 
     let ranker = InterestRanker::from_training(positives.iter().chain(negatives.iter()));
     let top = ranker.top_queries(&result, 3);
     for (rank, mined) in top.iter().enumerate() {
-        println!("\n#{rank} score={:.3} pos_freq={:.2} neg_freq={:.2}",
-            mined.score, mined.pos_freq, mined.neg_freq);
+        println!(
+            "\n#{rank} score={:.3} pos_freq={:.2} neg_freq={:.2}",
+            mined.score, mined.pos_freq, mined.neg_freq
+        );
         for (i, edge) in mined.pattern.edges().iter().enumerate() {
             println!(
                 "  t{}: {} -> {}",
@@ -66,6 +72,9 @@ fn main() {
     }
 
     let best = result.best().expect("found a pattern");
-    assert_eq!(best.neg_freq, 0.0, "the best pattern must not occur in benign activity");
+    assert_eq!(
+        best.neg_freq, 0.0,
+        "the best pattern must not occur in benign activity"
+    );
     println!("\nThe top pattern occurs in every suspicious session and never in benign activity.");
 }

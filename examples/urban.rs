@@ -26,7 +26,7 @@ fn pollution_week(interner: &mut LabelInterner, rng: &mut StdRng) -> TemporalGra
     let festival = b.add_node(interner.intern("event:festival"));
     let mut ts = 0u64;
     let mut next = |r: &mut StdRng| {
-        ts += r.gen_range(1..4);
+        ts += r.gen_range(1..4u64);
         ts
     };
     b.add_edge(pollution, sickness, next(rng)).unwrap();
@@ -47,7 +47,7 @@ fn congestion_week(interner: &mut LabelInterner, rng: &mut StdRng) -> TemporalGr
     let festival = b.add_node(interner.intern("event:festival"));
     let mut ts = 0u64;
     let mut next = |r: &mut StdRng| {
-        ts += r.gen_range(1..4);
+        ts += r.gen_range(1..4u64);
         ts
     };
     b.add_edge(festival, jam, next(rng)).unwrap();
@@ -59,17 +59,21 @@ fn congestion_week(interner: &mut LabelInterner, rng: &mut StdRng) -> TemporalGr
 fn main() {
     let mut interner = LabelInterner::new();
     let mut rng = StdRng::seed_from_u64(2026);
-    let polluted: Vec<TemporalGraph> =
-        (0..15).map(|_| pollution_week(&mut interner, &mut rng)).collect();
-    let ordinary: Vec<TemporalGraph> =
-        (0..15).map(|_| congestion_week(&mut interner, &mut rng)).collect();
+    let polluted: Vec<TemporalGraph> = (0..15)
+        .map(|_| pollution_week(&mut interner, &mut rng))
+        .collect();
+    let ordinary: Vec<TemporalGraph> = (0..15)
+        .map(|_| congestion_week(&mut interner, &mut rng))
+        .collect();
 
     // Mine with two different score functions to show they agree on the top pattern.
     let config = MinerConfig::default().with_max_edges(3);
     let by_log_ratio = mine(&polluted, &ordinary, &LogRatio::default(), &config);
     let by_g_test = mine(&polluted, &ordinary, &GTest::default(), &config);
 
-    let best = by_log_ratio.best().expect("a pollution cascade pattern exists");
+    let best = by_log_ratio
+        .best()
+        .expect("a pollution cascade pattern exists");
     println!("Pollution-cascade behavior query:");
     for (t, edge) in best.pattern.edges().iter().enumerate() {
         println!(
@@ -86,7 +90,10 @@ fn main() {
     );
     assert_eq!(best.neg_freq, 0.0);
     let g_best = by_g_test.best().unwrap();
-    assert_eq!(g_best.neg_freq, 0.0, "g-test should also surface a pollution-only cascade");
+    assert_eq!(
+        g_best.neg_freq, 0.0,
+        "g-test should also surface a pollution-only cascade"
+    );
     assert!((g_best.pos_freq - best.pos_freq).abs() < 1e-12);
     println!("\nThe cascade pollution -> sickness -> (food drop | hospital jams) only exists in");
     println!("pollution weeks; mining it automatically answers the experts' high-level question.");

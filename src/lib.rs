@@ -4,14 +4,19 @@
 //! This façade crate re-exports the public API of the member crates so examples and
 //! downstream users can depend on a single package:
 //!
-//! * [`tgraph`] — temporal graph data model, temporal subgraph tests, residual graphs.
-//! * [`syscall`] — synthetic syscall-log workload generator (training / test datasets).
+//! * [`tgraph`] — temporal graph data model, temporal subgraph tests, residual graphs,
+//!   and the incremental graph substrate for streaming.
+//! * [`syscall`] — synthetic syscall-log workload generator (training / test datasets)
+//!   and the stream replay adapter.
 //! * [`tgminer`] — the discriminative temporal graph pattern miner and its baselines.
 //! * [`query`] — behavior-query formulation, search over monitoring graphs, evaluation.
+//! * [`stream`] — the online streaming detection engine: registered behavior queries
+//!   matched as events arrive, consistent with the offline search.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
 
 pub use query;
+pub use stream;
 pub use syscall;
 pub use tgminer;
 pub use tgraph;

@@ -18,10 +18,17 @@ fn mined_patterns_actually_occur_in_the_positive_graphs() {
     for behavior in [Behavior::GzipDecompress, Behavior::FtpdLogin] {
         let positives = training.positives(behavior);
         let negatives = training.negatives();
-        let config = MinerConfig { max_edges: 3, cap_per_graph: 64, ..MinerConfig::default() };
+        let config = MinerConfig {
+            max_edges: 3,
+            cap_per_graph: 64,
+            ..MinerConfig::default()
+        };
         let result = mine(positives, negatives, &LogRatio::default(), &config);
         let best = result.best().expect("patterns mined");
-        let support = positives.iter().filter(|g| contains_pattern(&best.pattern, g)).count();
+        let support = positives
+            .iter()
+            .filter(|g| contains_pattern(&best.pattern, g))
+            .count();
         let measured = support as f64 / positives.len() as f64;
         assert!(
             (measured - best.pos_freq).abs() < 1e-9,
@@ -57,14 +64,25 @@ fn every_miner_variant_agrees_on_the_best_score() {
 #[test]
 fn behavior_queries_resolve_to_real_entity_names() {
     let (training, _) = tiny_setup();
-    let options = QueryOptions { query_size: 3, top_queries: 2, miner_top_k: 8, cap_per_graph: 32 };
+    let options = QueryOptions {
+        query_size: 3,
+        top_queries: 2,
+        miner_top_k: 8,
+        cap_per_graph: 32,
+    };
     let queries = formulate_queries(&training, Behavior::SshdLogin, &options);
     assert!(!queries.temporal.is_empty());
     for pattern in &queries.temporal {
         for &label in pattern.labels() {
-            let name = training.interner.name(label).expect("labels come from the interner");
+            let name = training
+                .interner
+                .name(label)
+                .expect("labels come from the interner");
             assert!(
-                name.starts_with("proc:") || name.starts_with("file:") || name.starts_with("socket:") || name.starts_with("pipe:"),
+                name.starts_with("proc:")
+                    || name.starts_with("file:")
+                    || name.starts_with("socket:")
+                    || name.starts_with("pipe:"),
                 "unexpected label {name}"
             );
         }
@@ -74,7 +92,12 @@ fn behavior_queries_resolve_to_real_entity_names() {
 #[test]
 fn tgminer_is_at_least_as_precise_as_both_baselines_on_a_confusable_behavior() {
     let (training, test) = tiny_setup();
-    let options = QueryOptions { query_size: 4, top_queries: 3, miner_top_k: 8, cap_per_graph: 32 };
+    let options = QueryOptions {
+        query_size: 4,
+        top_queries: 3,
+        miner_top_k: 8,
+        cap_per_graph: 32,
+    };
     let accuracy = formulate_and_evaluate(&training, &test, Behavior::ScpDownload, &options);
     assert!(accuracy.tgminer.precision() >= accuracy.nodeset.precision());
     assert!(accuracy.tgminer.precision() >= accuracy.ntemp.precision() - 1e-9);
@@ -84,7 +107,12 @@ fn tgminer_is_at_least_as_precise_as_both_baselines_on_a_confusable_behavior() {
 #[test]
 fn distinct_behaviors_are_easy_for_everyone() {
     let (training, test) = tiny_setup();
-    let options = QueryOptions { query_size: 3, top_queries: 2, miner_top_k: 8, cap_per_graph: 32 };
+    let options = QueryOptions {
+        query_size: 3,
+        top_queries: 2,
+        miner_top_k: 8,
+        cap_per_graph: 32,
+    };
     let accuracy = formulate_and_evaluate(&training, &test, Behavior::GzipDecompress, &options);
     assert!(accuracy.tgminer.precision() > 0.9);
     assert!(accuracy.tgminer.recall() > 0.7);
@@ -94,7 +122,12 @@ fn distinct_behaviors_are_easy_for_everyone() {
 fn subsampled_training_data_still_yields_working_queries() {
     let (training, test) = tiny_setup();
     let subset = training.subsample(0.5);
-    let options = QueryOptions { query_size: 3, top_queries: 2, miner_top_k: 8, cap_per_graph: 32 };
+    let options = QueryOptions {
+        query_size: 3,
+        top_queries: 2,
+        miner_top_k: 8,
+        cap_per_graph: 32,
+    };
     let accuracy = formulate_and_evaluate(&subset, &test, Behavior::Bzip2Decompress, &options);
     assert!(accuracy.tgminer.recall() > 0.5);
 }

@@ -1,0 +1,140 @@
+//! Offline drop-in replacement for the subset of the `proptest` API used by this
+//! workspace: the `proptest!` macro with an optional `#![proptest_config(..)]` attribute,
+//! range strategies over integers and floats, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Differences from upstream proptest, deliberate for an offline stub:
+//!
+//! * **No shrinking.** A failing case panics immediately; the sampled inputs are printed
+//!   (via a panic guard) so the failure can be reproduced by hand.
+//! * **Deterministic seeding.** Each test derives its RNG seed from its module path and
+//!   name (FNV-1a), so runs are reproducible without a persistence file.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares deterministic property tests.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///
+///     // In a test module this carries `#[test]`; attributes pass straight through.
+///     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+///
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]: one test function per item.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);) => {};
+    (
+        cfg = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            $(let $arg = $strat;)+
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&$arg, &mut rng);)+
+                let inputs = format!(
+                    concat!("case #{}: ", $(stringify!($arg), " = {:?}, ",)+),
+                    case, $(&$arg),+
+                );
+                let guard = $crate::test_runner::PanicGuard::new(&inputs);
+                $body
+                guard.disarm();
+            }
+        }
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Sampled ranges respect their bounds.
+        #[test]
+        fn ranges_are_respected(a in 3u64..17, b in 0usize..5, x in 0.0f64..1.0) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!(b < 5);
+            prop_assert!((0.0..1.0).contains(&x), "x out of range: {}", x);
+        }
+    }
+
+    proptest! {
+        /// The default configuration also works (no config attribute).
+        #[test]
+        fn default_config_runs(v in 1i32..100) {
+            prop_assert_ne!(v, 0);
+            prop_assert_eq!(v, v);
+        }
+    }
+
+    #[test]
+    fn distinct_tests_get_distinct_seeds() {
+        let mut a = crate::test_runner::TestRng::for_test("alpha");
+        let mut b = crate::test_runner::TestRng::for_test("beta");
+        let squeeze = |rng: &mut crate::test_runner::TestRng| {
+            use rand::RngCore;
+            rng.next_u64()
+        };
+        assert_ne!(squeeze(&mut a), squeeze(&mut b));
+    }
+}

@@ -1,0 +1,74 @@
+//! Value-generation strategies. Only range strategies are provided — the subset this
+//! workspace's property tests use.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl Strategy for core::ops::Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// A strategy that always yields clones of one value (`Just` in upstream proptest).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_strategies_sample_within_bounds() {
+        let mut rng = TestRng::for_test("strategy-bounds");
+        for _ in 0..100 {
+            assert!((5u64..9).contains(&(5u64..9).sample(&mut rng)));
+            assert!((0usize..=3).contains(&(0usize..=3).sample(&mut rng)));
+            assert!((0.0f64..2.0).contains(&(0.0f64..2.0).sample(&mut rng)));
+        }
+        assert_eq!(Just(41).sample(&mut rng), 41);
+    }
+}

@@ -1,0 +1,100 @@
+//! Test-runner plumbing: configuration, the deterministic per-test RNG, and the panic
+//! guard that reports failing inputs (the stub's substitute for shrinking).
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases each property test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// The RNG handed to strategies. Seeded from the test's module path and name so every
+/// test has its own reproducible stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Creates the deterministic RNG for the named test (FNV-1a over the name).
+    pub fn for_test(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self {
+            inner: StdRng::seed_from_u64(hash),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+/// Prints the sampled inputs if the test body panics; disarmed on success. This is how
+/// the stub reports failing cases in lieu of upstream proptest's shrinking machinery.
+pub struct PanicGuard<'a> {
+    inputs: &'a str,
+    armed: bool,
+}
+
+impl<'a> PanicGuard<'a> {
+    /// Arms a guard describing the current case's inputs.
+    pub fn new(inputs: &'a str) -> Self {
+        Self {
+            inputs,
+            armed: true,
+        }
+    }
+
+    /// Disarms the guard: the case passed.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for PanicGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!("proptest: failing {}", self.inputs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_test_is_deterministic_per_name() {
+        let mut a = TestRng::for_test("same");
+        let mut b = TestRng::for_test("same");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn disarmed_guard_is_silent() {
+        let guard = PanicGuard::new("inputs");
+        guard.disarm();
+    }
+}
