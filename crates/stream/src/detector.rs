@@ -8,8 +8,10 @@
 //! 1. **Resolve** pending `Ntemp` anchors whose window closed before this event — their
 //!    full window is buffered, so the order-free completion can run over it.
 //! 2. **Append** the event to the [`IncrementalGraph`] (O(1) amortised), which also
-//!    evicts edges that left the retention window (twice the largest registered query
-//!    window — enough for the `Ntemp` look-back *and* look-ahead).
+//!    evicts edges that left the retention window (twice the largest registered
+//!    *static* query window — enough for the `Ntemp` look-back *and* look-ahead;
+//!    temporal and keyword runs carry their own state, so a detector without static
+//!    queries stores no edges at all).
 //! 3. **Advance** every live temporal partial-match run by the new edge; completions
 //!    become detections, expired runs are dropped.
 //! 4. **Advance** every live keyword (`NodeSet`) window with the event's endpoints.
@@ -20,12 +22,17 @@
 //! Temporal and keyword queries are therefore matched fully incrementally; non-temporal
 //! queries — whose matches may *precede* their anchor — are anchored incrementally and
 //! resolved once their window closes (or at [`Detector::flush`]).
+//!
+//! The registered-query state (the query list plus the first-edge seed indexes) lives
+//! in [`QueryTable`]; the sharded engine ([`crate::shard::ShardedDetector`]) partitions
+//! queries by giving each shard its own table and its own `Detector`.
 
+use crate::error::{BatchError, RegisterError};
+use crate::registry::QueryTable;
 use query::matcher::{
     complete_static_anchored, seed_matches, static_window_bounds, window_deadline, NodeSetRun,
     RunStep, TemporalRun, TemporalSpawn,
 };
-use std::collections::HashMap;
 use tgminer::baselines::gspan::StaticPattern;
 use tgminer::baselines::nodeset::NodeSetQuery;
 use tgraph::pattern::TemporalPattern;
@@ -46,13 +53,56 @@ pub enum CompiledQuery {
     NodeSet(NodeSetQuery),
 }
 
+/// The seed condition of a compiled query: which arriving events start new work for it.
+/// This is the single source of truth for both the registration indexes
+/// ([`crate::registry::QueryTable`]) and the shard-assignment cost model
+/// ([`crate::shard::LabelPairStats`]), so routing and load estimation cannot drift.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeedKey {
+    /// A temporal pattern seeds a run on its first edge's `(source, destination)`
+    /// label pair.
+    TemporalPair(Label, Label),
+    /// A static (`Ntemp`) pattern anchors on its first edge's `(source, destination)`
+    /// label pair.
+    StaticPair(Label, Label),
+    /// A keyword query opens a window on any event touching one of these labels
+    /// (distinct, sorted).
+    NodeSetLabels(Vec<Label>),
+}
+
 impl CompiledQuery {
-    /// Whether the query can never match anything (no edges / no labels).
+    /// Whether the query can never match anything (no edges / no labels). Such queries
+    /// are rejected at registration with [`RegisterError::EmptyQuery`].
     pub fn is_trivially_empty(&self) -> bool {
+        self.seed_key().is_none()
+    }
+
+    /// The query's seed condition, or `None` when it is trivially empty.
+    pub fn seed_key(&self) -> Option<SeedKey> {
         match self {
-            CompiledQuery::Temporal(p) => p.edge_count() == 0,
-            CompiledQuery::Static(p) => p.edges.is_empty(),
-            CompiledQuery::NodeSet(q) => q.labels.is_empty(),
+            CompiledQuery::Temporal(pattern) => {
+                let first = pattern.edges().first()?;
+                Some(SeedKey::TemporalPair(
+                    pattern.label(first.src),
+                    pattern.label(first.dst),
+                ))
+            }
+            CompiledQuery::Static(pattern) => {
+                let &(p_src, p_dst) = pattern.edges.first()?;
+                Some(SeedKey::StaticPair(
+                    pattern.labels[p_src],
+                    pattern.labels[p_dst],
+                ))
+            }
+            CompiledQuery::NodeSet(set) => {
+                if set.labels.is_empty() {
+                    return None;
+                }
+                let mut distinct = set.labels.clone();
+                distinct.sort_unstable();
+                distinct.dedup();
+                Some(SeedKey::NodeSetLabels(distinct))
+            }
         }
     }
 }
@@ -68,11 +118,34 @@ pub struct Detection {
     pub end_ts: u64,
 }
 
-/// A registered query plus its match window.
-#[derive(Debug, Clone)]
-struct Registered {
-    query: CompiledQuery,
-    window: u64,
+/// A successful registration: the query's id plus its visibility contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Registration {
+    /// The id the detector will report this query's detections under.
+    pub id: QueryId,
+    /// The earliest timestamp whose events this query's matching can still
+    /// **observe** — its look-back floor.
+    ///
+    /// This bounds which events can participate in a match; it is *not* a promise of
+    /// retroactive detection. New work is only ever seeded by events arriving after
+    /// registration, so an instance whose seed/anchor event already passed is never
+    /// matched, whatever `visible_from` says. Register queries before streaming
+    /// starts for complete coverage; this field reports what a mid-stream
+    /// registration gave up.
+    ///
+    /// * `0` when the query is registered before any event arrived — nothing was
+    ///   given up.
+    /// * For a *temporal* or *keyword* query registered mid-stream: `last_ts + 1`.
+    ///   These query types never read buffered history; every event of a match must
+    ///   arrive after registration.
+    /// * For a *static* (`Ntemp`) query registered mid-stream: the graph's earliest
+    ///   fully-retained timestamp. A static match anchored at a *future* event may use
+    ///   look-back edges up to `window - 1` units behind the anchor, reaching into
+    ///   buffered history — but never past what an earlier (narrower) retention window
+    ///   already evicted. Evicted history cannot be resurrected, so the first `window`
+    ///   of look-back may be silently truncated; this field is exactly where the
+    ///   truncation ends.
+    pub visible_from: u64,
 }
 
 /// An `Ntemp` anchor waiting for its window to close.
@@ -87,18 +160,11 @@ struct PendingStatic {
 /// crate docs for the offline-consistency guarantee.
 #[derive(Debug)]
 pub struct Detector {
-    queries: Vec<Registered>,
-    /// Temporal queries by their first edge's label pair.
-    temporal_seeds: HashMap<(Label, Label), Vec<QueryId>>,
-    /// Static queries by their first edge's label pair.
-    static_anchors: HashMap<(Label, Label), Vec<QueryId>>,
-    /// Keyword queries by each member label.
-    nodeset_labels: HashMap<Label, Vec<QueryId>>,
+    queries: QueryTable,
     graph: IncrementalGraph,
     temporal_runs: Vec<(QueryId, TemporalRun)>,
     nodeset_runs: Vec<(QueryId, NodeSetRun)>,
     pending_static: Vec<PendingStatic>,
-    max_window: u64,
     dropped_branches: u64,
 }
 
@@ -113,65 +179,72 @@ impl Detector {
     pub fn new() -> Self {
         // The detector keys its own lookups on first-edge label pairs, so the
         // incremental graph's generic postings index would be maintained for nobody —
-        // disable it on the hot path.
-        let mut graph = IncrementalGraph::new();
+        // disable it on the hot path. Retention starts at 0 (nothing to match yet);
+        // every registration re-derives it from the largest registered window.
+        let mut graph = IncrementalGraph::with_retention(0);
         graph.disable_postings();
+        Self::with_graph(graph)
+    }
+
+    /// A detector over a caller-configured (empty) incremental graph. This is how the
+    /// sharded engine stamps out per-shard detectors from one graph template (see
+    /// [`IncrementalGraph::fresh_like`]).
+    pub(crate) fn with_graph(graph: IncrementalGraph) -> Self {
         Self {
-            queries: Vec::new(),
-            temporal_seeds: HashMap::new(),
-            static_anchors: HashMap::new(),
-            nodeset_labels: HashMap::new(),
+            queries: QueryTable::new(),
             graph,
             temporal_runs: Vec::new(),
             nodeset_runs: Vec::new(),
             pending_static: Vec::new(),
-            max_window: 0,
             dropped_branches: 0,
         }
     }
 
-    /// Registers a query matched within `window` timestamp units. Returns its id.
+    /// Registers a query matched within `window` timestamp units.
     ///
-    /// Registration is expected before streaming starts; a query registered mid-stream
-    /// only sees events from that point on (it cannot match into already-evicted
-    /// history).
-    pub fn register(&mut self, query: CompiledQuery, window: u64) -> QueryId {
-        let id = self.queries.len();
-        match &query {
-            CompiledQuery::Temporal(pattern) => {
-                if pattern.edge_count() > 0 {
-                    let first = pattern.edges()[0];
-                    let key = (pattern.label(first.src), pattern.label(first.dst));
-                    self.temporal_seeds.entry(key).or_default().push(id);
-                }
-            }
-            CompiledQuery::Static(pattern) => {
-                if let Some(&(p_src, p_dst)) = pattern.edges.first() {
-                    let key = (pattern.labels[p_src], pattern.labels[p_dst]);
-                    self.static_anchors.entry(key).or_default().push(id);
-                }
-            }
-            CompiledQuery::NodeSet(set) => {
-                let mut distinct = set.labels.clone();
-                distinct.sort_unstable();
-                distinct.dedup();
-                for label in distinct {
-                    self.nodeset_labels.entry(label).or_default().push(id);
-                }
-            }
-        }
-        self.queries.push(Registered { query, window });
-        // Retain twice the largest window: Ntemp anchors need `window - 1` of look-back
-        // still buffered when their `window - 1` of look-ahead closes.
-        self.max_window = self.max_window.max(window);
+    /// Rejects zero windows and trivially-empty queries with a typed error. On success
+    /// the returned [`Registration`] carries the query's id and `visible_from` — the
+    /// query's look-back floor. A query registered before streaming starts sees
+    /// everything (`visible_from == 0`). A query registered mid-stream only seeds on
+    /// events arriving from then on (instances whose seed/anchor already passed are
+    /// not matched retroactively), and its look-back cannot reach into history the
+    /// detector already evicted; `visible_from` reports exactly where that truncated
+    /// look-back ends (see [`Registration::visible_from`] for the per-query-type
+    /// contract).
+    pub fn register(
+        &mut self,
+        query: CompiledQuery,
+        window: u64,
+    ) -> Result<Registration, RegisterError> {
+        // Visibility is judged against the graph *before* this registration widens the
+        // retention window: widening never resurrects evicted history.
+        let visible_from = match self.graph.last_ts() {
+            None => 0,
+            Some(last) => match &query {
+                CompiledQuery::Static(_) => self.graph.visible_from(),
+                CompiledQuery::Temporal(_) | CompiledQuery::NodeSet(_) => last.saturating_add(1),
+            },
+        };
+        let id = self.queries.register(query, window)?;
+        // Only static (`Ntemp`) matches read the buffered window — temporal and keyword
+        // runs carry their own state — so retention is twice the largest *static*
+        // window: anchors need `window - 1` of look-back still buffered when their
+        // `window - 1` of look-ahead closes. A detector without static queries retains
+        // nothing (events still validate and announce labels, but edge storage stays
+        // empty), which is what makes temporal-only shards cheap.
         self.graph
-            .set_retention(Some(self.max_window.saturating_mul(2)));
-        id
+            .set_retention(Some(self.queries.max_static_window().saturating_mul(2)));
+        Ok(Registration { id, visible_from })
     }
 
     /// Number of registered queries.
     pub fn query_count(&self) -> usize {
         self.queries.len()
+    }
+
+    /// The registered-query table (queries, windows, seed indexes).
+    pub fn queries(&self) -> &QueryTable {
+        &self.queries
     }
 
     /// Processes one event; returns the detections it triggered.
@@ -195,10 +268,25 @@ impl Detector {
     }
 
     /// Processes a batch of events, concatenating their detections.
-    pub fn on_batch(&mut self, events: &[StreamEvent]) -> Result<Vec<Detection>, GraphError> {
+    ///
+    /// If an event mid-batch is invalid, the events before it have already been fully
+    /// processed; the returned [`BatchError`] carries their detections (they are real
+    /// and must not be lost), the failing index, and the underlying error. The detector
+    /// stays in the state produced by the valid prefix, so the caller may repair or
+    /// skip the offending event and keep streaming.
+    pub fn on_batch(&mut self, events: &[StreamEvent]) -> Result<Vec<Detection>, BatchError> {
         let mut out = Vec::new();
-        for &event in events {
-            out.extend(self.on_event(event)?);
+        for (index, &event) in events.iter().enumerate() {
+            match self.on_event(event) {
+                Ok(detections) => out.extend(detections),
+                Err(error) => {
+                    return Err(BatchError {
+                        emitted: out,
+                        index,
+                        error,
+                    })
+                }
+            }
         }
         Ok(out)
     }
@@ -257,18 +345,18 @@ impl Detector {
             .partition(|p| now.is_none_or(|ts| p.deadline < ts));
         self.pending_static = keep;
         for pending in due {
-            let registered = &self.queries[pending.query];
-            let CompiledQuery::Static(pattern) = &registered.query else {
+            let registered = self.queries.get(pending.query);
+            let CompiledQuery::Static(pattern) = registered.query() else {
                 unreachable!("pending static anchor for a non-static query");
             };
             let live = self.graph.live_edges();
-            let (lo, hi) = static_window_bounds(live, pending.anchor.ts, registered.window);
+            let (lo, hi) = static_window_bounds(live, pending.anchor.ts, registered.window());
             if let Some((start_ts, end_ts)) = complete_static_anchored(
                 pattern,
                 self.graph.labels(),
                 &live[lo..hi],
                 pending.anchor,
-                registered.window,
+                registered.window(),
             ) {
                 out.push(Detection {
                     query: pending.query,
@@ -284,7 +372,7 @@ impl Detector {
         let mut runs = std::mem::take(&mut self.temporal_runs);
         let mut dropped = 0u64;
         runs.retain_mut(|(query, run)| {
-            let CompiledQuery::Temporal(pattern) = &self.queries[*query].query else {
+            let CompiledQuery::Temporal(pattern) = self.queries.get(*query).query() else {
                 unreachable!("temporal run for a non-temporal query");
             };
             let keep = match run.advance(pattern, self.graph.labels(), edge) {
@@ -332,57 +420,57 @@ impl Detector {
         let labels = self.graph.labels();
 
         // Temporal queries whose first edge's label pair matches.
-        if let Some(candidates) = self.temporal_seeds.get(&(event.src_label, event.dst_label)) {
-            for &query in candidates {
-                let CompiledQuery::Temporal(pattern) = &self.queries[query].query else {
-                    unreachable!("temporal seed index points at a non-temporal query");
-                };
-                if !seed_matches(pattern, labels, edge) {
-                    continue; // right labels, wrong loop structure
+        for &query in self
+            .queries
+            .temporal_candidates(event.src_label, event.dst_label)
+        {
+            let CompiledQuery::Temporal(pattern) = self.queries.get(query).query() else {
+                unreachable!("temporal seed index points at a non-temporal query");
+            };
+            if !seed_matches(pattern, labels, edge) {
+                continue; // right labels, wrong loop structure
+            }
+            match TemporalRun::spawn(pattern, edge, self.queries.get(query).window()) {
+                TemporalSpawn::Complete((start_ts, end_ts)) => {
+                    out.push(Detection {
+                        query,
+                        start_ts,
+                        end_ts,
+                    });
                 }
-                match TemporalRun::spawn(pattern, edge, self.queries[query].window) {
-                    TemporalSpawn::Complete((start_ts, end_ts)) => {
-                        out.push(Detection {
-                            query,
-                            start_ts,
-                            end_ts,
-                        });
-                    }
-                    TemporalSpawn::Active(run) => self.temporal_runs.push((query, run)),
-                }
+                TemporalSpawn::Active(run) => self.temporal_runs.push((query, run)),
             }
         }
 
         // Static queries: remember the anchor, resolve when the window closes.
-        if let Some(candidates) = self.static_anchors.get(&(event.src_label, event.dst_label)) {
-            for &query in candidates {
-                let deadline = window_deadline(event.ts, self.queries[query].window);
-                self.pending_static.push(PendingStatic {
-                    query,
-                    anchor: edge,
-                    deadline,
-                });
-            }
+        for &query in self
+            .queries
+            .static_candidates(event.src_label, event.dst_label)
+        {
+            let deadline = window_deadline(event.ts, self.queries.get(query).window());
+            self.pending_static.push(PendingStatic {
+                query,
+                anchor: edge,
+                deadline,
+            });
         }
 
         // Keyword queries touched by either endpoint label (deduplicated).
         let mut spawned: Vec<QueryId> = Vec::new();
         for label in [event.src_label, event.dst_label] {
-            if let Some(candidates) = self.nodeset_labels.get(&label) {
-                for &query in candidates {
-                    if spawned.contains(&query) {
-                        continue;
-                    }
-                    spawned.push(query);
+            for &query in self.queries.nodeset_candidates(label) {
+                if spawned.contains(&query) {
+                    continue;
                 }
+                spawned.push(query);
             }
         }
         spawned.sort_unstable();
         for query in spawned {
-            let CompiledQuery::NodeSet(set) = &self.queries[query].query else {
+            let CompiledQuery::NodeSet(set) = self.queries.get(query).query() else {
                 unreachable!("nodeset label index points at a non-nodeset query");
             };
-            let mut run = NodeSetRun::spawn(set, event.ts, self.queries[query].window);
+            let mut run = NodeSetRun::spawn(set, event.ts, self.queries.get(query).window());
             // The anchor edge's own endpoints count toward the match.
             match run.advance(
                 event.ts,
@@ -406,7 +494,7 @@ impl Detector {
 mod tests {
     use super::*;
     use query::{search_nodeset, search_static, search_temporal};
-    use tgraph::{GraphBuilder, TemporalGraph};
+    use tgraph::{GraphBuilder, Label, TemporalGraph};
 
     fn l(i: u32) -> Label {
         Label(i)
@@ -420,6 +508,11 @@ mod tests {
             src_label: l(sl),
             dst_label: l(dl),
         }
+    }
+
+    /// Registers a query, asserting validity (the common case in tests).
+    fn must_register(detector: &mut Detector, query: CompiledQuery, window: u64) -> QueryId {
+        detector.register(query, window).expect("valid query").id
     }
 
     /// Replays a graph's edges through the detector, returning all detections.
@@ -473,7 +566,7 @@ mod tests {
     fn temporal_detections_match_offline_search() {
         let g = test_graph();
         let mut detector = Detector::new();
-        let q = detector.register(CompiledQuery::Temporal(abc_pattern()), 5);
+        let q = must_register(&mut detector, CompiledQuery::Temporal(abc_pattern()), 5);
         let mut streamed: Vec<(u64, u64)> = replay(&mut detector, &g)
             .into_iter()
             .map(|d| (d.start_ts, d.end_ts))
@@ -493,7 +586,7 @@ mod tests {
             edges: vec![(0, 1), (1, 2)],
         };
         let mut detector = Detector::new();
-        detector.register(CompiledQuery::Static(pattern.clone()), 5);
+        must_register(&mut detector, CompiledQuery::Static(pattern.clone()), 5);
         let mut streamed: Vec<(u64, u64)> = replay(&mut detector, &g)
             .into_iter()
             .map(|d| (d.start_ts, d.end_ts))
@@ -514,7 +607,7 @@ mod tests {
             labels: vec![l(0), l(1), l(2)],
         };
         let mut detector = Detector::new();
-        detector.register(CompiledQuery::NodeSet(set.clone()), 5);
+        must_register(&mut detector, CompiledQuery::NodeSet(set.clone()), 5);
         let mut streamed: Vec<(u64, u64)> = replay(&mut detector, &g)
             .into_iter()
             .map(|d| (d.start_ts, d.end_ts))
@@ -529,8 +622,9 @@ mod tests {
     fn detections_carry_their_query_id() {
         let g = test_graph();
         let mut detector = Detector::new();
-        let qa = detector.register(CompiledQuery::Temporal(abc_pattern()), 5);
-        let qb = detector.register(
+        let qa = must_register(&mut detector, CompiledQuery::Temporal(abc_pattern()), 5);
+        let qb = must_register(
+            &mut detector,
             CompiledQuery::Temporal(TemporalPattern::single_self_loop(l(9))),
             5,
         );
@@ -540,9 +634,87 @@ mod tests {
     }
 
     #[test]
+    fn zero_window_and_empty_queries_are_rejected_with_typed_errors() {
+        let mut detector = Detector::new();
+        // `window_deadline(ts, 0)` saturates to `deadline == ts` — a single-instant
+        // window. Registration refuses to let "no window" degenerate into that.
+        assert_eq!(
+            detector.register(CompiledQuery::Temporal(abc_pattern()), 0),
+            Err(RegisterError::ZeroWindow)
+        );
+        assert_eq!(
+            detector.register(CompiledQuery::NodeSet(NodeSetQuery { labels: vec![] }), 5),
+            Err(RegisterError::EmptyQuery)
+        );
+        assert_eq!(
+            detector.register(
+                CompiledQuery::Static(StaticPattern {
+                    labels: vec![],
+                    edges: vec![],
+                }),
+                5,
+            ),
+            Err(RegisterError::EmptyQuery)
+        );
+        assert_eq!(detector.query_count(), 0, "rejected queries consume no id");
+        // A window of 1 (single-instant, but explicit) is accepted.
+        let reg = detector
+            .register(CompiledQuery::Temporal(abc_pattern()), 1)
+            .unwrap();
+        assert_eq!(reg.id, 0);
+        assert_eq!(reg.visible_from, 0, "registered before any event");
+    }
+
+    #[test]
+    fn mid_stream_registration_reports_truncated_visibility() {
+        let mut detector = Detector::new();
+        must_register(
+            &mut detector,
+            CompiledQuery::Static(StaticPattern {
+                labels: vec![l(0), l(1)],
+                edges: vec![(0, 1)],
+            }),
+            10,
+        );
+        // Retention is 2 * 10 = 20; after ts 100 edges with ts <= 80 are evicted.
+        for ts in 1..=100u64 {
+            detector.on_event(ev(ts, 0, 1, 0, 1)).unwrap();
+        }
+        assert_eq!(detector.graph().visible_from(), 81);
+        // A static query registered now can look back only into retained history.
+        let static_reg = detector
+            .register(
+                CompiledQuery::Static(StaticPattern {
+                    labels: vec![l(0), l(1)],
+                    edges: vec![(0, 1)],
+                }),
+                50,
+            )
+            .unwrap();
+        assert_eq!(
+            static_reg.visible_from, 81,
+            "look-back is truncated at the eviction boundary"
+        );
+        // Temporal and keyword queries seed only on future events.
+        let temporal_reg = detector
+            .register(CompiledQuery::Temporal(abc_pattern()), 50)
+            .unwrap();
+        assert_eq!(temporal_reg.visible_from, 101);
+        let nodeset_reg = detector
+            .register(
+                CompiledQuery::NodeSet(NodeSetQuery {
+                    labels: vec![l(0), l(1)],
+                }),
+                50,
+            )
+            .unwrap();
+        assert_eq!(nodeset_reg.visible_from, 101);
+    }
+
+    #[test]
     fn partial_matches_expire_after_the_window() {
         let mut detector = Detector::new();
-        detector.register(CompiledQuery::Temporal(abc_pattern()), 3);
+        must_register(&mut detector, CompiledQuery::Temporal(abc_pattern()), 3);
         // Seed A->B at ts 10; the run may live through ts 12 at most.
         detector.on_event(ev(10, 0, 1, 0, 1)).unwrap();
         assert_eq!(detector.active_temporal_runs(), 1);
@@ -559,7 +731,8 @@ mod tests {
             "expired once the window closed"
         );
         // A keyword window expires the same way.
-        detector.register(
+        must_register(
+            &mut detector,
             CompiledQuery::NodeSet(NodeSetQuery {
                 labels: vec![l(7), l(8)],
             }),
@@ -573,17 +746,43 @@ mod tests {
     }
 
     #[test]
-    fn window_eviction_is_bounded_by_twice_the_largest_window() {
+    fn window_eviction_is_bounded_by_twice_the_largest_static_window() {
         let mut detector = Detector::new();
-        detector.register(CompiledQuery::Temporal(abc_pattern()), 10);
+        must_register(
+            &mut detector,
+            CompiledQuery::Static(StaticPattern {
+                labels: vec![l(5), l(6)],
+                edges: vec![(0, 1)],
+            }),
+            10,
+        );
+        // A temporal query with a much larger window must NOT widen the retention:
+        // temporal runs never read the buffered window.
+        must_register(&mut detector, CompiledQuery::Temporal(abc_pattern()), 500);
         for ts in 1..=200u64 {
             detector.on_event(ev(ts, 0, 1, 0, 1)).unwrap();
         }
-        // Retention is 2 * 10: live edges are ts in (180, 200].
+        // Retention is 2 * 10 (the static window): live edges are ts in (180, 200].
         assert_eq!(detector.graph().retention(), Some(20));
         assert_eq!(detector.graph().live_edge_count(), 20);
         assert_eq!(detector.graph().evicted_count(), 180);
-        // Seeds keep spawning and expiring; they never accumulate past the window.
+    }
+
+    #[test]
+    fn temporal_only_detectors_store_no_edges() {
+        let mut detector = Detector::new();
+        must_register(&mut detector, CompiledQuery::Temporal(abc_pattern()), 10);
+        for ts in 1..=200u64 {
+            detector.on_event(ev(ts, 0, 1, 0, 1)).unwrap();
+        }
+        assert_eq!(detector.graph().retention(), Some(0));
+        assert_eq!(
+            detector.graph().live_edge_count(),
+            0,
+            "no static query ever reads the window, so nothing is retained"
+        );
+        // Matching is unaffected: labels and runs live outside the edge store.
+        assert!(detector.graph().is_known_node(0));
         assert!(detector.active_temporal_runs() <= 10);
     }
 
@@ -594,7 +793,7 @@ mod tests {
             edges: vec![(0, 1), (1, 2)],
         };
         let mut detector = Detector::new();
-        let q = detector.register(CompiledQuery::Static(pattern), 5);
+        let q = must_register(&mut detector, CompiledQuery::Static(pattern), 5);
         // B->C first, then the anchor A->B: only look-back can complete this.
         detector.on_event(ev(10, 1, 2, 1, 2)).unwrap();
         let out = detector.on_event(ev(11, 0, 1, 0, 1)).unwrap();
@@ -634,7 +833,7 @@ mod tests {
             edges: vec![(0, 1), (1, 2)],
         };
         let mut detector = Detector::new();
-        let q = detector.register(CompiledQuery::Static(pattern), 5);
+        let q = must_register(&mut detector, CompiledQuery::Static(pattern), 5);
         detector.on_event(ev(10, 1, 2, 1, 2)).unwrap();
         detector.on_event(ev(11, 0, 1, 0, 1)).unwrap();
         assert_eq!(detector.pending_static_anchors(), 1);
@@ -660,7 +859,7 @@ mod tests {
     #[test]
     fn invalid_events_are_rejected() {
         let mut detector = Detector::new();
-        detector.register(CompiledQuery::Temporal(abc_pattern()), 5);
+        must_register(&mut detector, CompiledQuery::Temporal(abc_pattern()), 5);
         detector.on_event(ev(10, 0, 1, 0, 1)).unwrap();
         assert!(matches!(
             detector.on_event(ev(10, 1, 2, 1, 2)),
@@ -673,14 +872,61 @@ mod tests {
     }
 
     #[test]
+    fn mid_batch_failure_carries_detections_from_the_valid_prefix() {
+        // Regression: `on_batch` used to return a bare `Err(GraphError)` on a mid-batch
+        // invalid event, throwing away detections that valid earlier events in the SAME
+        // batch had already produced.
+        let mut detector = Detector::new();
+        let q = must_register(
+            &mut detector,
+            CompiledQuery::Temporal(TemporalPattern::single_edge(l(0), l(1))),
+            5,
+        );
+        let batch = [
+            ev(1, 0, 1, 0, 1),  // valid: completes the single-edge pattern
+            ev(3, 0, 1, 0, 1),  // valid: completes it again
+            ev(2, 0, 1, 0, 1),  // invalid: timestamp goes backwards
+            ev(10, 0, 1, 0, 1), // never reached
+        ];
+        let err = detector.on_batch(&batch).unwrap_err();
+        assert_eq!(err.index, 2);
+        assert!(matches!(
+            err.error,
+            GraphError::NonMonotonicTimestamp {
+                previous: 3,
+                current: 2
+            }
+        ));
+        assert_eq!(
+            err.emitted,
+            vec![
+                Detection {
+                    query: q,
+                    start_ts: 1,
+                    end_ts: 1
+                },
+                Detection {
+                    query: q,
+                    start_ts: 3,
+                    end_ts: 3
+                },
+            ],
+            "detections from the valid prefix must be carried, not lost"
+        );
+        // The detector is still usable: the valid prefix was applied, the rest was not.
+        let out = detector.on_event(ev(10, 0, 1, 0, 1)).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
     fn batches_are_equivalent_to_single_events() {
         let g = test_graph();
         let mut one = Detector::new();
-        one.register(CompiledQuery::Temporal(abc_pattern()), 5);
+        must_register(&mut one, CompiledQuery::Temporal(abc_pattern()), 5);
         let singles = replay(&mut one, &g);
 
         let mut batched = Detector::new();
-        batched.register(CompiledQuery::Temporal(abc_pattern()), 5);
+        must_register(&mut batched, CompiledQuery::Temporal(abc_pattern()), 5);
         let events: Vec<StreamEvent> = g
             .edges()
             .iter()

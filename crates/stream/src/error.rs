@@ -1,0 +1,68 @@
+//! Typed errors for the streaming detection engine.
+
+use crate::detector::Detection;
+use std::fmt;
+use tgraph::GraphError;
+
+/// Why a query was rejected at registration time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegisterError {
+    /// The query's window was zero. `window_deadline(ts, 0)` saturates to
+    /// `deadline == ts`, which would silently turn "no window" into a single-instant
+    /// window — almost certainly not what the caller meant, so it is rejected instead.
+    ZeroWindow,
+    /// The query can never match anything (a pattern with no edges, or a keyword set
+    /// with no labels). Registering it would only burn per-event work.
+    EmptyQuery,
+}
+
+impl fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegisterError::ZeroWindow => write!(
+                f,
+                "query window must be at least 1 timestamp unit (a zero window would \
+                 degenerate to a single-instant match)"
+            ),
+            RegisterError::EmptyQuery => {
+                write!(f, "query has no edges or labels and can never match")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegisterError {}
+
+/// A batch failed mid-way: event `index` was rejected, but the events before it were
+/// fully processed and their detections are in `emitted` — they are real detections and
+/// must not be dropped on the error path.
+///
+/// The detector itself is left in the state produced by the `index` valid events; the
+/// caller may fix or skip the offending event and continue streaming.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchError {
+    /// Detections produced by the valid events preceding the failure.
+    pub emitted: Vec<Detection>,
+    /// Index (within the submitted batch) of the event that was rejected.
+    pub index: usize,
+    /// Why that event was rejected.
+    pub error: GraphError,
+}
+
+impl fmt::Display for BatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "batch event #{} rejected ({}); {} detections from earlier events carried",
+            self.index,
+            self.error,
+            self.emitted.len()
+        )
+    }
+}
+
+impl std::error::Error for BatchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}

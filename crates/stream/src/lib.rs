@@ -7,22 +7,44 @@
 //!
 //! * [`CompiledQuery`] — a registered behavior query: a temporal pattern (TGMiner), a
 //!   non-temporal pattern (`Ntemp`), or a keyword label set (`NodeSet`);
-//! * [`Detector`] — the engine: queries are registered up front (each with its match
-//!   window), events arrive one at a time or in batches, and detections are emitted as
-//!   `(query, start_ts, end_ts)` intervals;
+//! * [`Detector`] — the single-threaded engine: queries are registered up front (each
+//!   with its match window), events arrive one at a time or in batches, and detections
+//!   are emitted as `(query, start_ts, end_ts)` intervals;
+//! * [`ShardedDetector`] — the same API scaled across worker threads: registered
+//!   queries are partitioned over N shards (balanced by first-edge label-pair posting
+//!   frequency, [`LabelPairStats`]), each batch fans out to all shards, and per-shard
+//!   detections merge back into global timestamp order;
+//! * [`QueryTable`] — the registered-query state (queries, windows, first-edge seed
+//!   indexes) a single engine owns; it is the unit the sharded engine partitions;
 //! * the temporal substrate lives in [`tgraph::IncrementalGraph`], and the per-edge
 //!   advance logic is shared with the offline search through [`query::matcher`].
 //!
+//! ## Error contracts
+//!
+//! Registration rejects zero windows and trivially-empty queries with a typed
+//! [`RegisterError`], and reports (via [`Registration::visible_from`]) how far back a
+//! mid-stream registration can actually see. A batch that fails mid-way returns a
+//! [`BatchError`] carrying the detections the valid prefix already produced — they are
+//! real detections and are never dropped on the error path.
+//!
 //! ## Consistency guarantee
 //!
-//! Replaying a monitoring graph's edges through a [`Detector`] yields, per query,
-//! exactly the intervals the offline functions [`query::search_temporal`],
-//! [`query::search_static`] and [`query::search_nodeset`] return on that graph (order
-//! may differ — streaming emits at completion time, offline in anchor order). This holds
-//! by construction: both sides drive the same state machines over the same edge order.
-//! `tests/stream_parity.rs` at the workspace root checks it property-style on random
-//! graphs and on generated `syscall` datasets.
+//! Replaying a monitoring graph's edges through a [`Detector`] — or a
+//! [`ShardedDetector`] with any shard count — yields, per query, exactly the intervals
+//! the offline functions [`query::search_temporal`], [`query::search_static`] and
+//! [`query::search_nodeset`] return on that graph (order may differ — streaming emits
+//! at completion time, offline in anchor order). This holds by construction: both sides
+//! drive the same state machines over the same edge order, and sharding partitions
+//! queries, never the stream. `tests/stream_parity.rs` at the workspace root checks it
+//! property-style on random graphs and on generated `syscall` datasets, sweeping batch
+//! sizes and shard counts.
 
 pub mod detector;
+pub mod error;
+pub mod registry;
+pub mod shard;
 
-pub use detector::{CompiledQuery, Detection, Detector, QueryId};
+pub use detector::{CompiledQuery, Detection, Detector, QueryId, Registration, SeedKey};
+pub use error::{BatchError, RegisterError};
+pub use registry::{QueryTable, Registered};
+pub use shard::{LabelPairStats, ShardedDetector};

@@ -1,0 +1,232 @@
+//! The per-query state a detection engine owns: registered queries plus the first-edge
+//! indexes that route an arriving event to the queries it can possibly seed.
+//!
+//! This used to live inline in [`crate::detector::Detector`]; it is its own type so the
+//! sharded engine ([`crate::shard::ShardedDetector`]) can hand each shard an independent
+//! table holding only that shard's queries — the table *is* the unit of partitioning.
+
+use crate::detector::{CompiledQuery, QueryId, SeedKey};
+use crate::error::RegisterError;
+use std::collections::HashMap;
+use tgraph::Label;
+
+/// A registered query plus its match window.
+#[derive(Debug, Clone)]
+pub struct Registered {
+    query: CompiledQuery,
+    window: u64,
+}
+
+impl Registered {
+    /// The compiled query.
+    #[inline]
+    pub fn query(&self) -> &CompiledQuery {
+        &self.query
+    }
+
+    /// The query's match window in timestamp units (always at least 1).
+    #[inline]
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+}
+
+/// Registered queries and the label-keyed seed indexes over them.
+///
+/// Queries are keyed on their first edge's `(source label, destination label)` pair
+/// (keyword queries on each member label), so per event only the queries whose first
+/// edge can match are touched. Registration validates the query: zero windows and
+/// trivially-empty queries are rejected with a typed [`RegisterError`].
+#[derive(Debug, Clone, Default)]
+pub struct QueryTable {
+    queries: Vec<Registered>,
+    /// Temporal queries by their first edge's label pair.
+    temporal_seeds: HashMap<(Label, Label), Vec<QueryId>>,
+    /// Static queries by their first edge's label pair.
+    static_anchors: HashMap<(Label, Label), Vec<QueryId>>,
+    /// Keyword queries by each member label.
+    nodeset_labels: HashMap<Label, Vec<QueryId>>,
+    /// Largest window among *static* queries only — the only query type that reads the
+    /// buffered window (temporal and keyword runs carry their own state), so it alone
+    /// determines how much history the graph must retain.
+    max_static_window: u64,
+}
+
+impl QueryTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a query matched within `window` timestamp units, indexing it under its
+    /// seed labels. Returns its id (dense, starting at 0), or rejects a zero window /
+    /// trivially-empty query.
+    pub fn register(
+        &mut self,
+        query: CompiledQuery,
+        window: u64,
+    ) -> Result<QueryId, RegisterError> {
+        if window == 0 {
+            return Err(RegisterError::ZeroWindow);
+        }
+        let Some(seed_key) = query.seed_key() else {
+            return Err(RegisterError::EmptyQuery);
+        };
+        let id = self.queries.len();
+        match seed_key {
+            SeedKey::TemporalPair(src, dst) => {
+                self.temporal_seeds.entry((src, dst)).or_default().push(id);
+            }
+            SeedKey::StaticPair(src, dst) => {
+                self.static_anchors.entry((src, dst)).or_default().push(id);
+                self.max_static_window = self.max_static_window.max(window);
+            }
+            SeedKey::NodeSetLabels(labels) => {
+                for label in labels {
+                    self.nodeset_labels.entry(label).or_default().push(id);
+                }
+            }
+        }
+        self.queries.push(Registered { query, window });
+        Ok(id)
+    }
+
+    /// Number of registered queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Whether no query is registered.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The largest window among registered *static* queries (0 without any). Only
+    /// static matches resolve against the buffered window, so this is what sizes the
+    /// graph's retention — temporal and keyword windows live in their runs instead.
+    pub fn max_static_window(&self) -> u64 {
+        self.max_static_window
+    }
+
+    /// The registered query with id `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not returned by [`QueryTable::register`] on this table.
+    #[inline]
+    pub fn get(&self, id: QueryId) -> &Registered {
+        &self.queries[id]
+    }
+
+    /// Temporal queries whose first edge carries this label pair.
+    pub fn temporal_candidates(&self, src: Label, dst: Label) -> &[QueryId] {
+        self.temporal_seeds
+            .get(&(src, dst))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Static queries whose first edge carries this label pair.
+    pub fn static_candidates(&self, src: Label, dst: Label) -> &[QueryId] {
+        self.static_anchors
+            .get(&(src, dst))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Keyword queries containing this label.
+    pub fn nodeset_candidates(&self, label: Label) -> &[QueryId] {
+        self.nodeset_labels
+            .get(&label)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgminer::baselines::gspan::StaticPattern;
+    use tgminer::baselines::nodeset::NodeSetQuery;
+    use tgraph::pattern::TemporalPattern;
+
+    fn l(i: u32) -> Label {
+        Label(i)
+    }
+
+    #[test]
+    fn registration_indexes_queries_under_their_seed_labels() {
+        let mut table = QueryTable::new();
+        let t = table
+            .register(
+                CompiledQuery::Temporal(TemporalPattern::single_edge(l(0), l(1))),
+                5,
+            )
+            .unwrap();
+        let s = table
+            .register(
+                CompiledQuery::Static(StaticPattern {
+                    labels: vec![l(0), l(1)],
+                    edges: vec![(0, 1)],
+                }),
+                7,
+            )
+            .unwrap();
+        let n = table
+            .register(
+                CompiledQuery::NodeSet(NodeSetQuery {
+                    labels: vec![l(2), l(2), l(3)],
+                }),
+                9,
+            )
+            .unwrap();
+        assert_eq!((t, s, n), (0, 1, 2));
+        assert_eq!(table.len(), 3);
+        assert_eq!(
+            table.max_static_window(),
+            7,
+            "only the static query's window sizes the retention"
+        );
+        assert_eq!(table.temporal_candidates(l(0), l(1)), &[t]);
+        assert_eq!(table.static_candidates(l(0), l(1)), &[s]);
+        // Duplicate member labels index the query once.
+        assert_eq!(table.nodeset_candidates(l(2)), &[n]);
+        assert_eq!(table.nodeset_candidates(l(3)), &[n]);
+        assert!(table.temporal_candidates(l(1), l(0)).is_empty());
+        assert_eq!(table.get(s).window(), 7);
+    }
+
+    #[test]
+    fn zero_window_and_empty_queries_are_rejected() {
+        let mut table = QueryTable::new();
+        assert_eq!(
+            table.register(
+                CompiledQuery::Temporal(TemporalPattern::single_edge(l(0), l(1))),
+                0,
+            ),
+            Err(RegisterError::ZeroWindow)
+        );
+        assert_eq!(
+            table.register(CompiledQuery::NodeSet(NodeSetQuery { labels: vec![] }), 5),
+            Err(RegisterError::EmptyQuery)
+        );
+        assert_eq!(
+            table.register(
+                CompiledQuery::Static(StaticPattern {
+                    labels: vec![],
+                    edges: vec![],
+                }),
+                5,
+            ),
+            Err(RegisterError::EmptyQuery)
+        );
+        // Rejected registrations consume no id.
+        assert!(table.is_empty());
+        let id = table
+            .register(
+                CompiledQuery::Temporal(TemporalPattern::single_edge(l(0), l(1))),
+                3,
+            )
+            .unwrap();
+        assert_eq!(id, 0);
+    }
+}

@@ -1,0 +1,618 @@
+//! The sharded streaming detector: registered queries partitioned across worker shards.
+//!
+//! ## Why sharding
+//!
+//! The single-threaded [`Detector`] advances every live run of every registered query
+//! on every event, so throughput divides by the number of registered queries. A
+//! monitoring deployment registers tens of queries over one high-rate event stream —
+//! the classic partition-to-scale setting. [`ShardedDetector`] splits the *query set*
+//! (not the stream) across N shards:
+//!
+//! * each shard owns a full [`Detector`] — its own [`crate::registry::QueryTable`],
+//!   partial-match runs, pending anchors, and its own [`tgraph::IncrementalGraph`]
+//!   whose retention is sized to *that shard's* largest static-query window (a shard
+//!   with no static queries stores no edges at all);
+//! * every event batch is fanned out to all shards on [`std::thread::scope`] workers
+//!   (share-nothing: no locks, no channels, no extra dependencies);
+//! * per-shard detections are remapped to global query ids and merged back into global
+//!   timestamp order — ascending `(end_ts, start_ts, query)`, i.e. the order instances
+//!   complete in the stream.
+//!
+//! ## Load-balanced assignment
+//!
+//! Queries are assigned to shards greedily by estimated cost, not round-robin. The cost
+//! model is **first-edge label-pair posting frequency** ([`LabelPairStats`], typically
+//! built from an [`EdgePostings`] index over historical telemetry): a query seeds a new
+//! run every time its first edge's label pair occurs, so a query keyed on a hot pair is
+//! proportionally more expensive. Each registration lands on the shard with the lowest
+//! accumulated cost — several queries keyed on one hot pair therefore spread across
+//! shards instead of serialising the pool behind a single worker. Without stats every
+//! query costs 1 and the assignment degrades to balance-by-count.
+//!
+//! ## Consistency
+//!
+//! Every shard appends every event to its own graph, so all shards agree on stream
+//! validity: a mid-batch invalid event fails on every shard at the same index with the
+//! same error, and [`ShardedDetector::on_batch`] merges the per-shard partial
+//! detections into one [`BatchError`] — nothing emitted by the valid prefix is lost.
+//! Detections are invariant under the shard count (checked property-style in
+//! `tests/stream_parity.rs`): N shards, 1 shard, and the offline search all identify
+//! the same intervals.
+
+use crate::detector::{CompiledQuery, Detection, Detector, QueryId, Registration, SeedKey};
+use crate::error::{BatchError, RegisterError};
+use std::collections::HashMap;
+use tgraph::{EdgePostings, GraphError, IncrementalGraph, Label, StreamEvent, TemporalGraph};
+
+/// Label-pair posting frequencies: the cost model behind query→shard assignment.
+///
+/// Build one from historical telemetry ([`LabelPairStats::from_postings`] /
+/// [`LabelPairStats::from_graph`]) or accumulate one online with
+/// [`LabelPairStats::record`]. Pairs never observed cost 1, so an empty stats object
+/// degrades gracefully to balance-by-count.
+#[derive(Debug, Clone, Default)]
+pub struct LabelPairStats {
+    pairs: HashMap<(Label, Label), u64>,
+    /// Marginal per-label frequency (a label's total appearances as either endpoint);
+    /// used to cost keyword queries, which seed on every event touching any member
+    /// label.
+    per_label: HashMap<Label, u64>,
+}
+
+impl LabelPairStats {
+    /// No observations: every query costs 1 (balance-by-count).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Frequencies from a prebuilt label-pair postings index.
+    pub fn from_postings(postings: &EdgePostings) -> Self {
+        let mut stats = Self::default();
+        for ((src, dst), count) in postings.pair_counts() {
+            stats.add(src, dst, count as u64);
+        }
+        stats
+    }
+
+    /// Frequencies from a materialised graph (builds the postings on the fly).
+    pub fn from_graph(graph: &TemporalGraph) -> Self {
+        Self::from_postings(&EdgePostings::build(graph))
+    }
+
+    /// Records one observed edge with these endpoint labels.
+    pub fn record(&mut self, src: Label, dst: Label) {
+        self.add(src, dst, 1);
+    }
+
+    fn add(&mut self, src: Label, dst: Label, count: u64) {
+        *self.pairs.entry((src, dst)).or_default() += count;
+        *self.per_label.entry(src).or_default() += count;
+        if src != dst {
+            *self.per_label.entry(dst).or_default() += count;
+        }
+    }
+
+    /// Observed frequency of a label pair, floored at 1 (unseen pairs still cost
+    /// something — the query bookkeeping is never free).
+    pub fn pair_weight(&self, src: Label, dst: Label) -> u64 {
+        self.pairs.get(&(src, dst)).copied().unwrap_or(0).max(1)
+    }
+
+    /// Observed frequency of a label appearing as either endpoint, floored at 1.
+    pub fn label_weight(&self, label: Label) -> u64 {
+        self.per_label.get(&label).copied().unwrap_or(0).max(1)
+    }
+
+    /// Estimated per-event cost of a query: how often its seed condition
+    /// ([`CompiledQuery::seed_key`] — the same condition the registration indexes
+    /// route on) fires.
+    ///
+    /// Temporal and static queries seed on their first edge's label pair; keyword
+    /// queries seed on every event touching any member label, so their cost is the sum
+    /// of the member labels' marginal frequencies.
+    pub fn query_cost(&self, query: &CompiledQuery) -> u64 {
+        match query.seed_key() {
+            Some(SeedKey::TemporalPair(src, dst)) | Some(SeedKey::StaticPair(src, dst)) => {
+                self.pair_weight(src, dst)
+            }
+            Some(SeedKey::NodeSetLabels(labels)) => labels
+                .into_iter()
+                .map(|label| self.label_weight(label))
+                .sum::<u64>()
+                .max(1),
+            None => 1,
+        }
+    }
+}
+
+/// Minimum batch size worth fanning out to worker threads. Spawning and joining a
+/// scoped thread costs tens of microseconds; below this many events the per-shard work
+/// is usually smaller than that, so the pool processes the batch inline instead.
+/// Results are identical either way — only the scheduling differs.
+pub const PARALLEL_BATCH_MIN: usize = 1024;
+
+/// One worker's state: a full detector over this shard's queries, plus the mapping from
+/// its dense local query ids back to the global ids the caller sees.
+#[derive(Debug)]
+struct Shard {
+    detector: Detector,
+    /// Shard-local `QueryId` → global `QueryId`.
+    global_ids: Vec<QueryId>,
+}
+
+impl Shard {
+    /// Runs a batch through this shard's detector and remaps detections to global ids.
+    fn process(&mut self, events: &[StreamEvent]) -> Result<Vec<Detection>, BatchError> {
+        match self.detector.on_batch(events) {
+            Ok(mut out) => {
+                self.remap(&mut out);
+                Ok(out)
+            }
+            Err(mut err) => {
+                self.remap(&mut err.emitted);
+                Err(err)
+            }
+        }
+    }
+
+    fn remap(&self, detections: &mut [Detection]) {
+        for detection in detections {
+            detection.query = self.global_ids[detection.query];
+        }
+    }
+}
+
+/// The sharded streaming detection engine: the [`Detector`] API, scaled across worker
+/// threads by partitioning the registered queries. See the module docs for the
+/// execution model.
+#[derive(Debug)]
+pub struct ShardedDetector {
+    shards: Vec<Shard>,
+    /// Accumulated estimated cost per shard (the greedy assignment's state).
+    loads: Vec<u64>,
+    stats: LabelPairStats,
+    /// Global query id → owning shard (for observability; ids are dense).
+    placements: Vec<usize>,
+    /// Whether batches fan out on worker threads. `false` on single-core machines
+    /// (detected at construction): spawning workers that serialise on one CPU is pure
+    /// overhead, so shards run inline there — same results, no threads.
+    parallel: bool,
+}
+
+impl ShardedDetector {
+    /// A pool of `shards` workers balancing queries by count (no frequency stats).
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn new(shards: usize) -> Self {
+        Self::with_stats(shards, LabelPairStats::new())
+    }
+
+    /// A pool of `shards` workers balancing queries by first-edge label-pair posting
+    /// frequency, estimated from `stats`.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn with_stats(shards: usize, stats: LabelPairStats) -> Self {
+        assert!(shards > 0, "a sharded detector needs at least one shard");
+        // One graph template, stamped per shard: postings disabled (detectors key
+        // their own lookups), retention 0 until the shard's first query widens it.
+        let mut template = IncrementalGraph::with_retention(0);
+        template.disable_postings();
+        Self {
+            shards: (0..shards)
+                .map(|_| Shard {
+                    detector: Detector::with_graph(template.fresh_like()),
+                    global_ids: Vec::new(),
+                })
+                .collect(),
+            loads: vec![0; shards],
+            stats,
+            placements: Vec::new(),
+            parallel: std::thread::available_parallelism().map_or(1, |n| n.get()) > 1,
+        }
+    }
+
+    /// Number of shards in the pool.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of registered queries across all shards.
+    pub fn query_count(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Accumulated estimated cost per shard (the assignment balance).
+    pub fn shard_loads(&self) -> &[u64] {
+        &self.loads
+    }
+
+    /// Number of queries per shard.
+    pub fn queries_per_shard(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.global_ids.len()).collect()
+    }
+
+    /// The shard a registered query was assigned to.
+    pub fn shard_of(&self, query: QueryId) -> usize {
+        self.placements[query]
+    }
+
+    /// Total partial-match branches dropped across all shards (see
+    /// [`Detector::dropped_branches`]).
+    pub fn dropped_branches(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.detector.dropped_branches())
+            .sum()
+    }
+
+    /// Registers a query matched within `window` timestamp units, assigning it to the
+    /// least-loaded shard by estimated cost.
+    ///
+    /// Same contract as [`Detector::register`]: zero windows and trivially-empty
+    /// queries are rejected with a typed error, and the returned [`Registration`]
+    /// carries the global query id plus `visible_from` — judged against the *owning
+    /// shard's* graph, whose retention reflects the windows of the queries already
+    /// assigned there.
+    pub fn register(
+        &mut self,
+        query: CompiledQuery,
+        window: u64,
+    ) -> Result<Registration, RegisterError> {
+        let cost = self.stats.query_cost(&query);
+        let shard_idx = self
+            .loads
+            .iter()
+            .enumerate()
+            .min_by_key(|&(idx, &load)| (load, self.shards[idx].global_ids.len(), idx))
+            .map(|(idx, _)| idx)
+            .expect("at least one shard");
+        let shard = &mut self.shards[shard_idx];
+        let local = shard.detector.register(query, window)?;
+        let id = self.placements.len();
+        debug_assert_eq!(local.id, shard.global_ids.len());
+        shard.global_ids.push(id);
+        self.placements.push(shard_idx);
+        self.loads[shard_idx] += cost;
+        Ok(Registration {
+            id,
+            visible_from: local.visible_from,
+        })
+    }
+
+    /// Processes one event; returns its detections in global timestamp order.
+    ///
+    /// Errors (leaving every shard unchanged) if the event's timestamp does not
+    /// strictly increase or it relabels a known node. Prefer [`ShardedDetector::on_batch`]
+    /// for throughput — per-event fan-out pays the thread-scope cost per event.
+    pub fn on_event(&mut self, event: StreamEvent) -> Result<Vec<Detection>, GraphError> {
+        match self.on_batch(std::slice::from_ref(&event)) {
+            Ok(out) => Ok(out),
+            Err(err) => {
+                debug_assert!(err.emitted.is_empty(), "single-event batch has no prefix");
+                Err(err.error)
+            }
+        }
+    }
+
+    /// Fans a batch out to every shard in parallel and merges the per-shard detections
+    /// into global timestamp order — ascending `(end_ts, start_ts, query)`.
+    ///
+    /// Same mid-batch contract as [`Detector::on_batch`]: every shard appends every
+    /// event to its own graph, so an invalid event fails on all shards at the same
+    /// index, and the returned [`BatchError`] carries the merged detections of the
+    /// valid prefix.
+    pub fn on_batch(&mut self, events: &[StreamEvent]) -> Result<Vec<Detection>, BatchError> {
+        let results: Vec<Result<Vec<Detection>, BatchError>> =
+            if !self.parallel || self.shards.len() == 1 || events.len() < PARALLEL_BATCH_MIN {
+                // A pool of one, a single-core machine (threads would only serialise),
+                // or a batch too small to amortise the spawn/join cost: run inline.
+                // Results are identical either way.
+                self.shards
+                    .iter_mut()
+                    .map(|shard| shard.process(events))
+                    .collect()
+            } else {
+                std::thread::scope(|scope| {
+                    let workers: Vec<_> = self
+                        .shards
+                        .iter_mut()
+                        .map(|shard| scope.spawn(move || shard.process(events)))
+                        .collect();
+                    workers
+                        .into_iter()
+                        .map(|worker| worker.join().expect("shard worker panicked"))
+                        .collect()
+                })
+            };
+
+        let mut merged = Vec::new();
+        let mut failure: Option<(usize, GraphError)> = None;
+        for result in results {
+            match result {
+                Ok(detections) => merged.extend(detections),
+                Err(err) => {
+                    // Shards share validation state, so they all fail identically.
+                    debug_assert!(
+                        failure
+                            .as_ref()
+                            .is_none_or(|(index, error)| *index == err.index
+                                && *error == err.error),
+                        "shards diverged on batch validity"
+                    );
+                    merged.extend(err.emitted);
+                    failure = Some((err.index, err.error));
+                }
+            }
+        }
+        Self::sort_global(&mut merged);
+        match failure {
+            None => Ok(merged),
+            Some((index, error)) => Err(BatchError {
+                emitted: merged,
+                index,
+                error,
+            }),
+        }
+    }
+
+    /// Declares the stream finished on every shard; returns the trailing detections in
+    /// global timestamp order.
+    pub fn flush(&mut self) -> Vec<Detection> {
+        let mut merged = Vec::new();
+        for shard in &mut self.shards {
+            let mut out = shard.detector.flush();
+            shard.remap(&mut out);
+            merged.extend(out);
+        }
+        Self::sort_global(&mut merged);
+        merged
+    }
+
+    /// Global timestamp order: instances sorted by when they complete in the stream.
+    fn sort_global(detections: &mut [Detection]) {
+        detections.sort_unstable_by_key(|d| (d.end_ts, d.start_ts, d.query));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tgminer::baselines::nodeset::NodeSetQuery;
+    use tgraph::pattern::TemporalPattern;
+
+    fn l(i: u32) -> Label {
+        Label(i)
+    }
+
+    fn ev(ts: u64, src: usize, dst: usize, sl: u32, dl: u32) -> StreamEvent {
+        StreamEvent {
+            ts,
+            src,
+            dst,
+            src_label: l(sl),
+            dst_label: l(dl),
+        }
+    }
+
+    fn abc_pattern() -> TemporalPattern {
+        TemporalPattern::single_edge(l(0), l(1))
+            .grow_forward(1, l(2))
+            .unwrap()
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_are_rejected() {
+        let _ = ShardedDetector::new(0);
+    }
+
+    #[test]
+    fn hot_pair_queries_spread_across_shards() {
+        // Pair (0,1) is 100x hotter than (2,3). Round-robin over registration order
+        // would put both hot queries on the same shard; cost-balanced assignment
+        // separates them.
+        let mut stats = LabelPairStats::new();
+        for _ in 0..100 {
+            stats.record(l(0), l(1));
+        }
+        stats.record(l(2), l(3));
+        let mut pool = ShardedDetector::with_stats(2, stats);
+        let hot_a = pool
+            .register(CompiledQuery::Temporal(abc_pattern()), 5)
+            .unwrap();
+        let cheap_a = pool
+            .register(
+                CompiledQuery::Temporal(TemporalPattern::single_edge(l(2), l(3))),
+                5,
+            )
+            .unwrap();
+        let cheap_b = pool
+            .register(
+                CompiledQuery::Temporal(TemporalPattern::single_edge(l(2), l(3))),
+                5,
+            )
+            .unwrap();
+        let hot_b = pool
+            .register(CompiledQuery::Temporal(abc_pattern()), 5)
+            .unwrap();
+        assert_ne!(
+            pool.shard_of(hot_a.id),
+            pool.shard_of(hot_b.id),
+            "the two hot-pair queries must not share a shard"
+        );
+        assert_eq!(pool.query_count(), 4);
+        assert_eq!(pool.queries_per_shard().iter().sum::<usize>(), 4);
+        // The cheap queries filled in around the hot ones.
+        assert_ne!(pool.shard_of(cheap_a.id), pool.shard_of(hot_a.id));
+        assert_eq!(pool.shard_of(cheap_b.id), pool.shard_of(cheap_a.id));
+    }
+
+    #[test]
+    fn nodeset_cost_uses_label_marginals() {
+        let mut stats = LabelPairStats::new();
+        stats.record(l(0), l(1));
+        stats.record(l(0), l(2));
+        stats.record(l(0), l(0)); // self-pair counts its label once
+        assert_eq!(stats.pair_weight(l(0), l(1)), 1);
+        assert_eq!(stats.pair_weight(l(9), l(9)), 1, "unseen pairs floor at 1");
+        assert_eq!(stats.label_weight(l(0)), 3);
+        let query = CompiledQuery::NodeSet(NodeSetQuery {
+            labels: vec![l(0), l(1), l(1)],
+        });
+        // Distinct labels 0 and 1: 3 + 1.
+        assert_eq!(stats.query_cost(&query), 4);
+    }
+
+    #[test]
+    fn detections_are_merged_in_global_timestamp_order() {
+        // Shard assignment alternates the two single-edge queries across shards; both
+        // match every (0,1) event, so the merged output interleaves the shards.
+        let mut pool = ShardedDetector::new(2);
+        let qa = pool
+            .register(
+                CompiledQuery::Temporal(TemporalPattern::single_edge(l(0), l(1))),
+                5,
+            )
+            .unwrap()
+            .id;
+        let qb = pool
+            .register(
+                CompiledQuery::Temporal(TemporalPattern::single_edge(l(0), l(1))),
+                5,
+            )
+            .unwrap()
+            .id;
+        assert_ne!(pool.shard_of(qa), pool.shard_of(qb));
+        let out = pool
+            .on_batch(&[ev(1, 0, 1, 0, 1), ev(2, 0, 1, 0, 1)])
+            .unwrap();
+        let key: Vec<(u64, QueryId)> = out.iter().map(|d| (d.end_ts, d.query)).collect();
+        assert_eq!(key, vec![(1, qa), (1, qb), (2, qa), (2, qb)]);
+    }
+
+    #[test]
+    fn mid_batch_failure_merges_partial_detections_across_shards() {
+        let mut pool = ShardedDetector::new(2);
+        let qa = pool
+            .register(
+                CompiledQuery::Temporal(TemporalPattern::single_edge(l(0), l(1))),
+                5,
+            )
+            .unwrap()
+            .id;
+        let qb = pool
+            .register(
+                CompiledQuery::Temporal(TemporalPattern::single_edge(l(0), l(1))),
+                5,
+            )
+            .unwrap()
+            .id;
+        let batch = [
+            ev(1, 0, 1, 0, 1),
+            ev(2, 0, 1, 0, 1),
+            ev(2, 0, 1, 0, 1), // invalid: repeated timestamp
+        ];
+        let err = pool.on_batch(&batch).unwrap_err();
+        assert_eq!(err.index, 2);
+        assert!(matches!(
+            err.error,
+            GraphError::NonMonotonicTimestamp { .. }
+        ));
+        // Both shards' prefix detections are present, in global order.
+        let key: Vec<(u64, QueryId)> = err.emitted.iter().map(|d| (d.end_ts, d.query)).collect();
+        assert_eq!(key, vec![(1, qa), (1, qb), (2, qa), (2, qb)]);
+        // The pool remains usable past the failure.
+        let out = pool.on_event(ev(3, 0, 1, 0, 1)).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn large_batches_agree_with_the_single_threaded_detector() {
+        // A batch above PARALLEL_BATCH_MIN takes the fan-out path (worker threads on
+        // multi-core machines); the merged result must equal the one-detector answer.
+        let events: Vec<StreamEvent> = (1..=(PARALLEL_BATCH_MIN as u64 + 500))
+            .map(|ts| ev(ts, 2 * ts as usize, 2 * ts as usize + 1, 0, 1))
+            .collect();
+        let mut single = Detector::new();
+        let q = single
+            .register(
+                CompiledQuery::Temporal(TemporalPattern::single_edge(l(0), l(1))),
+                5,
+            )
+            .unwrap()
+            .id;
+        let mut expected = single.on_batch(&events).unwrap();
+        expected.sort_unstable_by_key(|d| (d.end_ts, d.start_ts, d.query));
+
+        let mut pool = ShardedDetector::new(3);
+        for _ in 0..3 {
+            pool.register(
+                CompiledQuery::Temporal(TemporalPattern::single_edge(l(0), l(1))),
+                5,
+            )
+            .unwrap();
+        }
+        let merged = pool.on_batch(&events).unwrap();
+        assert!(!expected.is_empty());
+        for query in 0..3 {
+            let per_query: Vec<(u64, u64)> = merged
+                .iter()
+                .filter(|d| d.query == query)
+                .map(|d| (d.start_ts, d.end_ts))
+                .collect();
+            let baseline: Vec<(u64, u64)> = expected
+                .iter()
+                .filter(|d| d.query == q)
+                .map(|d| (d.start_ts, d.end_ts))
+                .collect();
+            assert_eq!(per_query, baseline, "query {query} diverged");
+        }
+    }
+
+    #[test]
+    fn per_shard_retention_follows_that_shards_queries() {
+        use tgminer::baselines::gspan::StaticPattern;
+        let static_query = |a: u32, b: u32| {
+            CompiledQuery::Static(StaticPattern {
+                labels: vec![l(a), l(b)],
+                edges: vec![(0, 1)],
+            })
+        };
+        let mut pool = ShardedDetector::new(2);
+        let wide = pool.register(static_query(0, 1), 100).unwrap().id;
+        let narrow = pool.register(static_query(2, 3), 5).unwrap().id;
+        let wide_shard = pool.shard_of(wide);
+        let narrow_shard = pool.shard_of(narrow);
+        assert_ne!(wide_shard, narrow_shard);
+        assert_eq!(
+            pool.shards[wide_shard].detector.graph().retention(),
+            Some(200)
+        );
+        assert_eq!(
+            pool.shards[narrow_shard].detector.graph().retention(),
+            Some(10),
+            "a shard retains only what its own queries need"
+        );
+    }
+
+    #[test]
+    fn registration_errors_pass_through_without_consuming_ids() {
+        let mut pool = ShardedDetector::new(3);
+        assert_eq!(
+            pool.register(CompiledQuery::Temporal(abc_pattern()), 0),
+            Err(RegisterError::ZeroWindow)
+        );
+        assert_eq!(
+            pool.register(CompiledQuery::NodeSet(NodeSetQuery { labels: vec![] }), 5),
+            Err(RegisterError::EmptyQuery)
+        );
+        assert_eq!(pool.query_count(), 0);
+        assert_eq!(pool.shard_loads(), &[0, 0, 0]);
+        let reg = pool
+            .register(CompiledQuery::Temporal(abc_pattern()), 5)
+            .unwrap();
+        assert_eq!(reg.id, 0);
+    }
+}

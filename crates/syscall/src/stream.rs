@@ -84,6 +84,15 @@ impl StreamSource {
     pub fn reset(&mut self) {
         self.cursor = 0;
     }
+
+    /// An independent iterator over the whole stream's batches (the last one may be
+    /// short), starting from the beginning regardless of this source's cursor. This is
+    /// how the same source is replayed into several detector pools (e.g. every shard
+    /// count of a throughput sweep, or the sharded and single-threaded engines of a
+    /// parity check) without mutable-borrow or `reset` bookkeeping.
+    pub fn batches(&self) -> std::slice::Chunks<'_, StreamEvent> {
+        self.events.chunks(self.batch_size)
+    }
 }
 
 #[cfg(test)]
@@ -120,6 +129,21 @@ mod tests {
         let first = source.next_batch().unwrap();
         assert_eq!(first.len(), 1);
         assert_eq!(source.remaining(), source.len() - 1);
+    }
+
+    #[test]
+    fn batches_iterator_is_independent_of_the_cursor() {
+        let data = TestData::generate(&TestDataConfig::tiny(), LabelInterner::new());
+        let mut source = StreamSource::from_test_data(&data, 53);
+        source.next_batch(); // advance the cursor; the iterator must not care
+        let replayed: usize = source.batches().map(<[StreamEvent]>::len).sum();
+        assert_eq!(replayed, source.len());
+        // Two iterations deliver identical batches.
+        let first: Vec<&[StreamEvent]> = source.batches().collect();
+        let second: Vec<&[StreamEvent]> = source.batches().collect();
+        assert_eq!(first, second);
+        assert!(first.iter().all(|batch| batch.len() <= 53));
+        assert_eq!(source.remaining(), source.len() - 53, "cursor untouched");
     }
 
     #[test]

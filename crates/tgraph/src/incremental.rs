@@ -97,6 +97,14 @@ impl EdgePostings {
         self.postings.len()
     }
 
+    /// Posting count per label pair — how often each `(source label, destination
+    /// label)` combination occurs. This is the frequency signal the sharded streaming
+    /// detector balances its query→shard assignment on: a query is as expensive as its
+    /// first edge's label pair is frequent.
+    pub fn pair_counts(&self) -> impl Iterator<Item = ((Label, Label), usize)> + '_ {
+        self.postings.iter().map(|(&pair, list)| (pair, list.len()))
+    }
+
     /// Whether no label pair has a posting.
     pub fn is_empty(&self) -> bool {
         self.postings.is_empty()
@@ -127,6 +135,8 @@ pub struct IncrementalGraph {
     /// If set, edges are evicted once `last_ts - edge.ts >= retention`.
     retention: Option<u64>,
     last_ts: Option<u64>,
+    /// Timestamp of the most recent edge ever evicted; `None` while nothing has been.
+    evicted_through: Option<u64>,
 }
 
 impl Default for IncrementalGraph {
@@ -141,6 +151,7 @@ impl Default for IncrementalGraph {
             track_postings: true,
             retention: None,
             last_ts: None,
+            evicted_through: None,
         }
     }
 }
@@ -173,6 +184,26 @@ impl IncrementalGraph {
     /// Current retention, if bounded.
     pub fn retention(&self) -> Option<u64> {
         self.retention
+    }
+
+    /// An empty graph with this graph's *configuration* (retention, postings tracking)
+    /// but none of its data. This is how a sharded consumer stamps out per-shard graphs
+    /// from one template without paying for a deep clone of the template's state.
+    pub fn fresh_like(&self) -> Self {
+        Self {
+            retention: self.retention,
+            track_postings: self.track_postings,
+            ..Self::default()
+        }
+    }
+
+    /// The earliest timestamp with *full visibility*: every event with
+    /// `ts >= visible_from()` that was ever appended is still retained. `0` while
+    /// nothing has been evicted. A consumer that widens the retention window mid-stream
+    /// (e.g. registering a wider query) cannot see past this boundary — evicted history
+    /// is never resurrected.
+    pub fn visible_from(&self) -> u64 {
+        self.evicted_through.map_or(0, |ts| ts.saturating_add(1))
     }
 
     /// Stops maintaining the label-pair postings index and drops what was built.
@@ -286,8 +317,13 @@ impl IncrementalGraph {
     /// only shrinks from the front, and the backing array compacts once more than half
     /// of it is dead.
     pub fn evict_up_to(&mut self, threshold: u64) {
+        let mut last_evicted = None;
         while self.live_start < self.edges.len() && self.edges[self.live_start].ts <= threshold {
+            last_evicted = Some(self.edges[self.live_start].ts);
             self.live_start += 1;
+        }
+        if let Some(ts) = last_evicted {
+            self.evicted_through = Some(self.evicted_through.map_or(ts, |prev| prev.max(ts)));
         }
         if self.live_start > 32 && self.live_start * 2 > self.edges.len() {
             self.compact();
@@ -575,6 +611,56 @@ mod tests {
         let cands = g.candidates(l(1), l(2)).to_vec();
         let live_ts: Vec<u64> = cands.iter().map(|&a| g.edge_at(a).unwrap().ts).collect();
         assert_eq!(live_ts, (196..=200).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn visible_from_tracks_eviction() {
+        let mut g = IncrementalGraph::with_retention(10);
+        assert_eq!(g.visible_from(), 0, "nothing evicted yet");
+        for ts in 1..=8u64 {
+            g.append(ev(ts, 0, 1, 1, 2)).unwrap();
+        }
+        assert_eq!(g.visible_from(), 0, "everything still retained");
+        for ts in 9..=30u64 {
+            g.append(ev(ts, 0, 1, 1, 2)).unwrap();
+        }
+        // After ts=30 with retention 10, edges with ts <= 20 are gone.
+        assert_eq!(g.visible_from(), 21);
+        // Widening retention cannot resurrect history: the boundary stays.
+        g.set_retention(Some(1000));
+        g.append(ev(31, 0, 1, 1, 2)).unwrap();
+        assert_eq!(g.visible_from(), 21);
+        // Manual eviction moves it too.
+        g.evict_up_to(25);
+        assert_eq!(g.visible_from(), 26);
+    }
+
+    #[test]
+    fn fresh_like_copies_configuration_not_data() {
+        let mut g = IncrementalGraph::with_retention(7);
+        g.disable_postings();
+        g.append(ev(1, 0, 1, 4, 5)).unwrap();
+        let fresh = g.fresh_like();
+        assert_eq!(fresh.retention(), Some(7));
+        assert!(!fresh.tracks_postings());
+        assert_eq!(fresh.live_edge_count(), 0);
+        assert_eq!(fresh.node_count(), 0);
+        assert_eq!(fresh.last_ts(), None);
+        assert_eq!(fresh.visible_from(), 0);
+    }
+
+    #[test]
+    fn pair_counts_report_posting_frequencies() {
+        let mut builder = GraphBuilder::new();
+        let a = builder.add_node(l(0));
+        let b = builder.add_node(l(1));
+        builder.add_edge(a, b, 1).unwrap();
+        builder.add_edge(b, a, 2).unwrap();
+        builder.add_edge(a, b, 3).unwrap();
+        let postings = EdgePostings::build(&builder.build());
+        let mut counts: Vec<((Label, Label), usize)> = postings.pair_counts().collect();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![((l(0), l(1)), 2), ((l(1), l(0)), 1)]);
     }
 
     #[test]

@@ -1,16 +1,18 @@
 //! Live monitoring: mine behavior queries offline, then detect behaviors *online* as a
-//! stream of system events arrives.
+//! stream of system events arrives — on a sharded worker pool.
 //!
 //! Run with `cargo run --release --example live_monitor`.
 //!
 //! The offline half is the paper's pipeline: generate training logs, mine discriminative
 //! temporal patterns for a few target behaviors. The online half is this repository's
-//! streaming extension: register the mined patterns with a `stream::Detector` and replay
-//! the test dataset as an ordered event stream — detections are emitted the moment the
-//! completing event arrives, and agree interval-for-interval with the offline search.
+//! streaming extension: register the mined patterns with a `stream::ShardedDetector`
+//! (queries partitioned across worker threads, balanced by first-edge label-pair
+//! frequency) and replay the test dataset as an ordered event stream — detections are
+//! emitted the moment the completing event arrives, in global timestamp order, and
+//! agree interval-for-interval with the offline search whatever the shard count.
 
 use behavior_query::query::{formulate_queries, QueryOptions};
-use behavior_query::stream::{CompiledQuery, Detector, QueryId};
+use behavior_query::stream::{CompiledQuery, LabelPairStats, QueryId, ShardedDetector};
 use behavior_query::syscall::{
     Behavior, DatasetConfig, StreamSource, TestData, TestDataConfig, TrainingData,
 };
@@ -31,7 +33,9 @@ fn main() {
         Behavior::ScpDownload,
     ];
 
-    let mut detector = Detector::new();
+    // Label-pair frequencies from historical telemetry drive the query→shard balance.
+    let stats = LabelPairStats::from_graph(&test.graph);
+    let mut detector = ShardedDetector::with_stats(2, stats);
     let mut names: Vec<(QueryId, Behavior)> = Vec::new();
     for behavior in behaviors {
         let queries = formulate_queries(&training, behavior, &options);
@@ -41,20 +45,29 @@ fn main() {
             .expect("mining found a pattern")
             .clone();
         println!("registered {:<18} -> {}", behavior.name(), pattern);
-        let id = detector.register(CompiledQuery::Temporal(pattern), test.max_duration);
-        names.push((id, behavior));
+        let registration = detector
+            .register(CompiledQuery::Temporal(pattern), test.max_duration)
+            .expect("mined queries are valid");
+        println!(
+            "    -> query #{} on shard {} (full visibility from ts {})",
+            registration.id,
+            detector.shard_of(registration.id),
+            registration.visible_from
+        );
+        names.push((registration.id, behavior));
     }
 
     // ---- Online: replay the monitoring graph as a live stream. ----------------------
-    let mut source = StreamSource::from_test_data(&test, 256);
+    let source = StreamSource::from_test_data(&test, 256);
     println!(
-        "\nstreaming {} events in batches of {}...\n",
+        "\nstreaming {} events in batches of {} across {} shards...\n",
         source.len(),
-        source.batch_size()
+        source.batch_size(),
+        detector.shard_count()
     );
     let mut shown = 0usize;
     let mut per_query = vec![0usize; names.len()];
-    while let Some(batch) = source.next_batch() {
+    for batch in source.batches() {
         for detection in detector.on_batch(batch).expect("replayed stream is valid") {
             per_query[detection.query] += 1;
             if shown < 10 {

@@ -1,16 +1,19 @@
 //! Stream/offline parity: replaying a monitoring graph through the streaming
-//! [`Detector`] yields, per query, exactly the intervals the offline search functions
-//! return — the consistency guarantee the `stream` crate advertises.
+//! [`Detector`] — or the [`ShardedDetector`] with any shard count — yields, per query,
+//! exactly the intervals the offline search functions return — the consistency
+//! guarantee the `stream` crate advertises.
 //!
-//! Two layers of evidence:
+//! Three layers of evidence:
 //!
 //! * property tests over *random* temporal graphs and patterns (deep patterns, loop
-//!   edges, arbitrary windows and batch sizes);
+//!   edges, arbitrary windows, batch sizes and shard counts);
 //! * property tests over *generated `syscall` datasets* with genuinely mined queries,
-//!   sweeping the stream batch size.
+//!   sweeping the stream batch size;
+//! * a fixed sweep asserting 1-, 2- and 4-shard pools emit the identical sorted
+//!   detection set as the single-threaded detector and the offline search.
 
 use behavior_query::query::{search_nodeset, search_static, search_temporal, Interval};
-use behavior_query::stream::{CompiledQuery, Detector};
+use behavior_query::stream::{CompiledQuery, Detector, LabelPairStats, ShardedDetector};
 use behavior_query::syscall::{
     Behavior, DatasetConfig, StreamSource, TestData, TestDataConfig, TrainingData,
 };
@@ -24,8 +27,8 @@ use behavior_query::tgraph::TemporalGraph;
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
-/// Replays `graph` through a detector with `queries` registered, returning each query's
-/// detections as a sorted interval list.
+/// Replays `graph` through a single-threaded detector with `queries` registered,
+/// returning each query's detections as a sorted interval list.
 fn stream_intervals(
     graph: &TemporalGraph,
     queries: &[(CompiledQuery, u64)],
@@ -33,16 +36,47 @@ fn stream_intervals(
 ) -> Vec<Vec<Interval>> {
     let mut detector = Detector::new();
     for (query, window) in queries {
-        detector.register(query.clone(), *window);
+        detector
+            .register(query.clone(), *window)
+            .expect("parity queries are valid");
     }
     let mut per_query: Vec<Vec<Interval>> = vec![Vec::new(); queries.len()];
-    let mut source = StreamSource::from_graph(graph, batch_size);
-    while let Some(batch) = source.next_batch() {
+    let source = StreamSource::from_graph(graph, batch_size);
+    for batch in source.batches() {
         for detection in detector.on_batch(batch).expect("replayed stream is valid") {
             per_query[detection.query].push((detection.start_ts, detection.end_ts));
         }
     }
     for detection in detector.flush() {
+        per_query[detection.query].push((detection.start_ts, detection.end_ts));
+    }
+    for intervals in &mut per_query {
+        intervals.sort_unstable();
+    }
+    per_query
+}
+
+/// Replays `graph` through a sharded pool (frequency-balanced over the graph's own
+/// label-pair postings), returning each query's detections as a sorted interval list.
+fn sharded_intervals(
+    graph: &TemporalGraph,
+    queries: &[(CompiledQuery, u64)],
+    batch_size: usize,
+    shards: usize,
+) -> Vec<Vec<Interval>> {
+    let mut pool = ShardedDetector::with_stats(shards, LabelPairStats::from_graph(graph));
+    for (query, window) in queries {
+        pool.register(query.clone(), *window)
+            .expect("parity queries are valid");
+    }
+    let mut per_query: Vec<Vec<Interval>> = vec![Vec::new(); queries.len()];
+    let source = StreamSource::from_graph(graph, batch_size);
+    for batch in source.batches() {
+        for detection in pool.on_batch(batch).expect("replayed stream is valid") {
+            per_query[detection.query].push((detection.start_ts, detection.end_ts));
+        }
+    }
+    for detection in pool.flush() {
         per_query[detection.query].push((detection.start_ts, detection.end_ts));
     }
     for intervals in &mut per_query {
@@ -107,6 +141,45 @@ proptest! {
             prop_assert_eq!(
                 &streamed[i], &offline,
                 "query #{} diverged (seed {}, window {}, batch {})", i, seed, w, batch
+            );
+        }
+    }
+
+    /// Sharded detections are invariant under the shard count: an N-shard pool, the
+    /// single-threaded detector, and the offline search all identify the same
+    /// intervals, whatever the partitioning.
+    #[test]
+    fn sharded_parity_is_shard_count_invariant(
+        seed in 0u64..10_000,
+        pedges in 1usize..4,
+        window in 1u64..25,
+        batch in 1usize..9,
+        shards in 1usize..6,
+    ) {
+        let graph = random_t_connected_graph(
+            seed,
+            RandomGraphSpec { nodes: 10, edges: 30, label_alphabet: 3 },
+        );
+        let pattern = random_pattern(seed.wrapping_add(7919), pedges, 3);
+        // Duplicate registrations force queries onto different shards even when the
+        // pool is larger than the distinct-query count.
+        let queries = vec![
+            (CompiledQuery::Temporal(pattern.clone()), window),
+            (CompiledQuery::Static(static_of(&pattern)), window),
+            (CompiledQuery::NodeSet(nodeset_of(&pattern)), window),
+            (CompiledQuery::Temporal(pattern.clone()), window),
+        ];
+        let single = stream_intervals(&graph, &queries, batch);
+        let sharded = sharded_intervals(&graph, &queries, batch, shards);
+        for (i, (query, w)) in queries.iter().enumerate() {
+            prop_assert_eq!(
+                &sharded[i], &single[i],
+                "query #{} diverged between {} shards and 1 thread (seed {})",
+                i, shards, seed
+            );
+            prop_assert_eq!(
+                &sharded[i], &offline_intervals(&graph, query, *w),
+                "query #{} diverged from offline (seed {}, shards {})", i, seed, shards
             );
         }
     }
@@ -191,6 +264,27 @@ proptest! {
             prop_assert_eq!(
                 &streamed[i], offline,
                 "query #{} diverged at batch size {}", i, batch
+            );
+        }
+    }
+}
+
+/// The acceptance sweep: on generated `TestData` with genuinely mined queries, sharded
+/// pools of 1, 2 and 4 workers emit the identical sorted detection set as the
+/// single-threaded detector and the offline search.
+#[test]
+fn testdata_sharded_parity_at_1_2_and_4_shards() {
+    let fx = fixture();
+    let single = stream_intervals(&fx.test.graph, &fx.queries, 128);
+    assert_eq!(&single, &fx.offline, "single-threaded baseline diverged");
+    // Batch 128 stays on the pool's inline path; 2048 crosses PARALLEL_BATCH_MIN and
+    // exercises the worker-thread fan-out (on multi-core machines).
+    for batch in [128usize, 2048] {
+        for shards in [1usize, 2, 4] {
+            let sharded = sharded_intervals(&fx.test.graph, &fx.queries, batch, shards);
+            assert_eq!(
+                &sharded, &fx.offline,
+                "{shards}-shard pool diverged from the offline search at batch {batch}"
             );
         }
     }
