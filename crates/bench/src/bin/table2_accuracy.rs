@@ -1,15 +1,27 @@
 //! Table 2: query accuracy (precision / recall) of NodeSet, Ntemp, and TGMiner on the
 //! 12 behaviors, with query size fixed at 6 and all training data used.
+//!
+//! The sweep and its aggregation go through the shared evaluate path
+//! ([`query::evaluate_behaviors`] / [`query::AccuracySummary`]) rather than an ad-hoc
+//! loop; an empty dataset exits non-zero instead of printing `0/0` artifacts.
 
 use bench::{pct, print_header, print_row, test_data, training_data, Scale};
-use query::{formulate_and_evaluate, QueryOptions};
+use query::{evaluate_behaviors, QueryOptions};
 use syscall::Behavior;
 
 fn main() {
     let scale = Scale::from_env();
     let training = training_data(scale);
     let test = test_data(scale, &training);
+    if test.instances.is_empty() {
+        eprintln!("[table2] test dataset has no behavior instances; nothing to score");
+        std::process::exit(2);
+    }
     let options = QueryOptions::default();
+
+    let summary = evaluate_behaviors(&training, &test, &Behavior::all(), &options, |behavior| {
+        eprintln!("[table2] evaluating {}...", behavior.name());
+    });
 
     let widths = [20, 9, 9, 9, 9, 9, 9];
     println!(
@@ -28,46 +40,33 @@ fn main() {
         ],
         &widths,
     );
-    let mut sums = [0.0f64; 6];
-    let mut rows = 0usize;
-    for behavior in Behavior::all() {
-        eprintln!("[table2] evaluating {}...", behavior.name());
-        let acc = formulate_and_evaluate(&training, &test, behavior, &options);
-        let cells = [
-            acc.nodeset.precision(),
-            acc.ntemp.precision(),
-            acc.tgminer.precision(),
-            acc.nodeset.recall(),
-            acc.ntemp.recall(),
-            acc.tgminer.recall(),
-        ];
-        for (sum, value) in sums.iter_mut().zip(cells) {
-            *sum += value;
-        }
-        rows += 1;
+    for row in &summary.rows {
         print_row(
             &[
-                behavior.name().to_string(),
-                pct(cells[0]),
-                pct(cells[1]),
-                pct(cells[2]),
-                pct(cells[3]),
-                pct(cells[4]),
-                pct(cells[5]),
+                row.behavior.name().to_string(),
+                pct(row.nodeset.precision()),
+                pct(row.ntemp.precision()),
+                pct(row.tgminer.precision()),
+                pct(row.nodeset.recall()),
+                pct(row.ntemp.recall()),
+                pct(row.tgminer.recall()),
             ],
             &widths,
         );
     }
-    let avg: Vec<String> = sums.iter().map(|s| pct(s / rows as f64)).collect();
+    let Some(averages) = summary.averages() else {
+        eprintln!("[table2] no behavior was evaluated; refusing to print NaN averages");
+        std::process::exit(2);
+    };
     print_row(
         &[
             "Average".to_string(),
-            avg[0].clone(),
-            avg[1].clone(),
-            avg[2].clone(),
-            avg[3].clone(),
-            avg[4].clone(),
-            avg[5].clone(),
+            pct(averages.precision[0]),
+            pct(averages.precision[1]),
+            pct(averages.precision[2]),
+            pct(averages.recall[0]),
+            pct(averages.recall[1]),
+            pct(averages.recall[2]),
         ],
         &widths,
     );

@@ -6,6 +6,7 @@
 //! behavior's lifetime window, and score precision/recall against the ground truth.
 //! The same pipeline is instantiated for the two accuracy baselines (`Ntemp`, `NodeSet`).
 
+use crate::compile::CompiledQuery;
 use crate::eval::{evaluate, merge_identified, AccuracyReport};
 use crate::search::{search_nodeset, search_static_indexed, search_temporal_indexed, Interval};
 use syscall::{Behavior, TestData, TrainingData};
@@ -132,6 +133,20 @@ pub fn formulate_queries(
     }
 }
 
+/// Compiles a formulated behavior query into its executable form: the top TGMiner
+/// temporal patterns as [`CompiledQuery`]s, ready to register on a streaming detector
+/// or dispatch through [`CompiledQuery::search`]. Trivially-empty queries are filtered
+/// out, so everything returned registers without error (given a positive window).
+pub fn compile_queries(queries: &BehaviorQueries) -> Vec<CompiledQuery> {
+    queries
+        .temporal
+        .iter()
+        .cloned()
+        .map(CompiledQuery::from)
+        .filter(|query| !query.is_trivially_empty())
+        .collect()
+}
+
 /// Accuracy of the three approaches on one behavior.
 #[derive(Debug, Clone, Copy)]
 pub struct BehaviorAccuracy {
@@ -182,6 +197,78 @@ pub fn formulate_and_evaluate(
 ) -> BehaviorAccuracy {
     let queries = formulate_queries(training, behavior, options);
     evaluate_queries(&queries, test)
+}
+
+/// A full accuracy sweep: one [`BehaviorAccuracy`] row per evaluated behavior.
+///
+/// This is the shared evaluate path behind the accuracy experiment binaries
+/// (`table2_accuracy`, `e2e_accuracy`): producing the rows and aggregating them lives
+/// here, so no binary carries its own ad-hoc averaging loop (which is where the
+/// divide-by-zero `NaN`s used to come from).
+#[derive(Debug, Clone, Default)]
+pub struct AccuracySummary {
+    /// One row per behavior, in evaluation order.
+    pub rows: Vec<BehaviorAccuracy>,
+}
+
+/// Column averages of an [`AccuracySummary`] (macro averages over behaviors).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyAverages {
+    /// Average precision of (NodeSet, Ntemp, TGMiner).
+    pub precision: [f64; 3],
+    /// Average recall of (NodeSet, Ntemp, TGMiner).
+    pub recall: [f64; 3],
+}
+
+impl AccuracySummary {
+    /// Macro-averaged precision and recall per approach, or `None` when the summary
+    /// has no rows — the caller must treat an empty sweep as an error rather than
+    /// printing `0/0` artifacts.
+    pub fn averages(&self) -> Option<AccuracyAverages> {
+        if self.rows.is_empty() {
+            return None;
+        }
+        let n = self.rows.len() as f64;
+        let mut precision = [0.0f64; 3];
+        let mut recall = [0.0f64; 3];
+        for row in &self.rows {
+            let reports = [row.nodeset, row.ntemp, row.tgminer];
+            for (i, report) in reports.iter().enumerate() {
+                precision[i] += report.precision();
+                recall[i] += report.recall();
+            }
+        }
+        for value in precision.iter_mut().chain(recall.iter_mut()) {
+            *value /= n;
+        }
+        Some(AccuracyAverages { precision, recall })
+    }
+
+    /// Total number of ground-truth instances across all rows (identical per approach;
+    /// zero means the test dataset was empty for every evaluated behavior).
+    pub fn total_instances(&self) -> usize {
+        self.rows.iter().map(|row| row.tgminer.instances).sum()
+    }
+}
+
+/// Formulates and evaluates every behavior in `behaviors`, invoking `progress` before
+/// each one (the experiment binaries report it on stderr; pass `|_| {}` to stay quiet).
+pub fn evaluate_behaviors(
+    training: &TrainingData,
+    test: &TestData,
+    behaviors: &[Behavior],
+    options: &QueryOptions,
+    mut progress: impl FnMut(Behavior),
+) -> AccuracySummary {
+    AccuracySummary {
+        rows: behaviors
+            .iter()
+            .map(|&behavior| {
+                progress(behavior);
+                formulate_and_evaluate(training, test, behavior, options)
+            })
+            .collect(),
+    }
 }
 
 #[cfg(test)]
@@ -235,6 +322,54 @@ mod tests {
             accuracy.tgminer.recall()
         );
         assert!(accuracy.tgminer.instances > 0);
+    }
+
+    #[test]
+    fn compiled_queries_mirror_the_formulated_temporal_patterns() {
+        let (training, _) = tiny_setup();
+        let options = QueryOptions {
+            query_size: 3,
+            top_queries: 3,
+            miner_top_k: 8,
+            cap_per_graph: 32,
+        };
+        let queries = formulate_queries(&training, Behavior::GzipDecompress, &options);
+        let compiled = compile_queries(&queries);
+        assert_eq!(compiled.len(), queries.temporal.len());
+        for (compiled, pattern) in compiled.iter().zip(&queries.temporal) {
+            assert!(!compiled.is_trivially_empty());
+            let CompiledQuery::Temporal(p) = compiled else {
+                panic!("behavior queries compile to temporal patterns");
+            };
+            assert_eq!(p, pattern);
+        }
+    }
+
+    #[test]
+    fn summary_averages_match_the_rows_and_reject_empty_sweeps() {
+        let (training, test) = tiny_setup();
+        let options = QueryOptions {
+            query_size: 3,
+            top_queries: 2,
+            miner_top_k: 8,
+            cap_per_graph: 32,
+        };
+        let mut seen = Vec::new();
+        let summary = evaluate_behaviors(
+            &training,
+            &test,
+            &[Behavior::GzipDecompress],
+            &options,
+            |b| seen.push(b),
+        );
+        assert_eq!(seen, vec![Behavior::GzipDecompress]);
+        assert_eq!(summary.rows.len(), 1);
+        assert!(summary.total_instances() > 0);
+        let averages = summary.averages().expect("non-empty sweep");
+        let row = &summary.rows[0];
+        assert!((averages.precision[2] - row.tgminer.precision()).abs() < 1e-12);
+        assert!((averages.recall[0] - row.nodeset.recall()).abs() < 1e-12);
+        assert!(AccuracySummary::default().averages().is_none());
     }
 
     #[test]

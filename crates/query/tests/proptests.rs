@@ -1,10 +1,12 @@
 //! Property tests for the window-boundary arithmetic shared by the offline search and
-//! the streaming detector. The two dangerous regions are the edges of the `u64` domain:
-//! anchors near timestamp 0 (where naive `anchor - window + 1` would underflow) and
-//! deadlines near `u64::MAX` (where naive `start + window - 1` would overflow). Both
-//! must saturate, never wrap.
+//! the streaming detector, plus the compiler half of the miner→compiler→registry
+//! contract. The two dangerous regions of the arithmetic are the edges of the `u64`
+//! domain: anchors near timestamp 0 (where naive `anchor - window + 1` would underflow)
+//! and deadlines near `u64::MAX` (where naive `start + window - 1` would overflow).
+//! Both must saturate, never wrap.
 
 use proptest::prelude::*;
+use query::compile::compile_mined;
 use query::matcher::{static_window_bounds, window_deadline};
 use tgraph::TemporalEdge;
 
@@ -99,5 +101,52 @@ proptest! {
             let in_window = edge.ts >= earliest && edge.ts <= deadline;
             prop_assert_eq!(inside, in_window);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The compiler half of the miner→compiler→registry contract: every pattern the
+    /// miner emits compiles into a non-empty query with a seed key, and the export is
+    /// stable (compiling twice yields identical queries). The registry half — that
+    /// these queries register without error — lives in
+    /// `crates/stream/tests/mine_register_contract.rs`.
+    #[test]
+    fn every_mined_pattern_compiles_nonempty(
+        seed in 0u64..10_000,
+        alphabet in 1u32..5,
+        max_edges in 1usize..4,
+    ) {
+        use tgminer::score::LogRatio;
+        use tgminer::{mine, MinerConfig};
+        use tgraph::generator::{random_t_connected_graph, RandomGraphSpec};
+
+        let graph = |salt: u64| {
+            random_t_connected_graph(
+                seed.wrapping_mul(31).wrapping_add(salt),
+                RandomGraphSpec { nodes: 6, edges: 10, label_alphabet: alphabet },
+            )
+        };
+        let positives = vec![graph(1), graph(2), graph(3)];
+        let negatives = vec![graph(100), graph(101)];
+        let config = MinerConfig {
+            max_edges,
+            top_k: 8,
+            cap_per_graph: 32,
+            ..MinerConfig::default()
+        };
+        let mining = mine(&positives, &negatives, &LogRatio::default(), &config);
+        prop_assert!(!mining.patterns.is_empty());
+        let compiled = compile_mined(&mining, mining.patterns.len());
+        // Nothing the miner emits is trivially empty, so the compiler's filter is a
+        // no-op: export and compilation have identical lengths.
+        prop_assert_eq!(compiled.len(), mining.export_top(usize::MAX).len());
+        for query in &compiled {
+            prop_assert!(!query.is_trivially_empty());
+            prop_assert!(query.seed_key().is_some());
+        }
+        let again = compile_mined(&mining, mining.patterns.len());
+        prop_assert_eq!(compiled.len(), again.len());
     }
 }

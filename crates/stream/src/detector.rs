@@ -27,85 +27,21 @@
 //! in [`QueryTable`]; the sharded engine ([`crate::shard::ShardedDetector`]) partitions
 //! queries by giving each shard its own table and its own `Detector`.
 
-use crate::error::{BatchError, RegisterError};
+use crate::error::{BatchError, DeregisterError, RegisterError};
 use crate::registry::QueryTable;
 use query::matcher::{
     complete_static_anchored, seed_matches, static_window_bounds, window_deadline, NodeSetRun,
     RunStep, TemporalRun, TemporalSpawn,
 };
-use tgminer::baselines::gspan::StaticPattern;
-use tgminer::baselines::nodeset::NodeSetQuery;
-use tgraph::pattern::TemporalPattern;
-use tgraph::{GraphError, IncrementalGraph, Label, StreamEvent, TemporalEdge};
+use tgraph::{GraphError, IncrementalGraph, StreamEvent, TemporalEdge};
+
+// The compiled-query types live in the `query` crate (the compiler side of the
+// miner→compiler→registry dataflow); the detector executes exactly those. Re-exported
+// here so streaming callers keep a single import surface.
+pub use query::compile::{CompiledQuery, SeedKey};
 
 /// Identifier of a registered query, assigned by [`Detector::register`].
 pub type QueryId = usize;
-
-/// A behavior query in the form the detector executes: one of the three query types the
-/// offline search supports.
-#[derive(Debug, Clone)]
-pub enum CompiledQuery {
-    /// A temporal graph pattern (TGMiner): edge order must be respected.
-    Temporal(TemporalPattern),
-    /// A non-temporal pattern (`Ntemp`): same structure, order ignored.
-    Static(StaticPattern),
-    /// A keyword label set (`NodeSet`): any co-occurrence within the window.
-    NodeSet(NodeSetQuery),
-}
-
-/// The seed condition of a compiled query: which arriving events start new work for it.
-/// This is the single source of truth for both the registration indexes
-/// ([`crate::registry::QueryTable`]) and the shard-assignment cost model
-/// ([`crate::shard::LabelPairStats`]), so routing and load estimation cannot drift.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SeedKey {
-    /// A temporal pattern seeds a run on its first edge's `(source, destination)`
-    /// label pair.
-    TemporalPair(Label, Label),
-    /// A static (`Ntemp`) pattern anchors on its first edge's `(source, destination)`
-    /// label pair.
-    StaticPair(Label, Label),
-    /// A keyword query opens a window on any event touching one of these labels
-    /// (distinct, sorted).
-    NodeSetLabels(Vec<Label>),
-}
-
-impl CompiledQuery {
-    /// Whether the query can never match anything (no edges / no labels). Such queries
-    /// are rejected at registration with [`RegisterError::EmptyQuery`].
-    pub fn is_trivially_empty(&self) -> bool {
-        self.seed_key().is_none()
-    }
-
-    /// The query's seed condition, or `None` when it is trivially empty.
-    pub fn seed_key(&self) -> Option<SeedKey> {
-        match self {
-            CompiledQuery::Temporal(pattern) => {
-                let first = pattern.edges().first()?;
-                Some(SeedKey::TemporalPair(
-                    pattern.label(first.src),
-                    pattern.label(first.dst),
-                ))
-            }
-            CompiledQuery::Static(pattern) => {
-                let &(p_src, p_dst) = pattern.edges.first()?;
-                Some(SeedKey::StaticPair(
-                    pattern.labels[p_src],
-                    pattern.labels[p_dst],
-                ))
-            }
-            CompiledQuery::NodeSet(set) => {
-                if set.labels.is_empty() {
-                    return None;
-                }
-                let mut distinct = set.labels.clone();
-                distinct.sort_unstable();
-                distinct.dedup();
-                Some(SeedKey::NodeSetLabels(distinct))
-            }
-        }
-    }
-}
 
 /// An emitted detection: `query` identified an instance spanning `[start_ts, end_ts]`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -235,6 +171,30 @@ impl Detector {
         self.graph
             .set_retention(Some(self.queries.max_static_window().saturating_mul(2)));
         Ok(Registration { id, visible_from })
+    }
+
+    /// Deregisters a query mid-stream: it stops receiving events immediately.
+    ///
+    /// All of the query's in-flight state is dropped — live temporal runs, open
+    /// keyword windows, and pending `Ntemp` anchors whose window had not closed yet.
+    /// Detections that would have completed from that state are *not* emitted: a
+    /// deregistered query is silent from this call on, exactly as if its remaining
+    /// partial matches had expired. Other queries are unaffected, and the graph's
+    /// retention shrinks if the removed query was the widest static one (evicted
+    /// history cannot be resurrected by a later re-registration).
+    ///
+    /// Ids are never reused; deregistering an unknown or already-removed id fails with
+    /// a typed [`DeregisterError`].
+    pub fn deregister(&mut self, id: QueryId) -> Result<(), DeregisterError> {
+        self.queries.remove(id)?;
+        // Cancelled state is dropped without touching `dropped_branches`: that counter
+        // means "capped, possibly missed detections", while cancellation is deliberate.
+        self.temporal_runs.retain(|(query, _)| *query != id);
+        self.nodeset_runs.retain(|(query, _)| *query != id);
+        self.pending_static.retain(|pending| pending.query != id);
+        self.graph
+            .set_retention(Some(self.queries.max_static_window().saturating_mul(2)));
+        Ok(())
     }
 
     /// Number of registered queries.
@@ -494,6 +454,9 @@ impl Detector {
 mod tests {
     use super::*;
     use query::{search_nodeset, search_static, search_temporal};
+    use tgminer::baselines::gspan::StaticPattern;
+    use tgminer::baselines::nodeset::NodeSetQuery;
+    use tgraph::pattern::TemporalPattern;
     use tgraph::{GraphBuilder, Label, TemporalGraph};
 
     fn l(i: u32) -> Label {
@@ -854,6 +817,129 @@ mod tests {
                 end_ts: 11
             }]
         );
+    }
+
+    #[test]
+    fn deregistration_drops_in_flight_detections_of_that_query_only() {
+        // One temporal run, one keyword window, and one pending static anchor are all
+        // in flight for the victim when it is deregistered; none may fire afterwards.
+        let mut detector = Detector::new();
+        let victim_t = must_register(&mut detector, CompiledQuery::Temporal(abc_pattern()), 10);
+        let victim_s = must_register(
+            &mut detector,
+            CompiledQuery::Static(StaticPattern {
+                labels: vec![l(0), l(1), l(2)],
+                edges: vec![(0, 1), (1, 2)],
+            }),
+            10,
+        );
+        let victim_n = must_register(
+            &mut detector,
+            CompiledQuery::NodeSet(NodeSetQuery {
+                labels: vec![l(0), l(1), l(2)],
+            }),
+            10,
+        );
+        let survivor = must_register(&mut detector, CompiledQuery::Temporal(abc_pattern()), 10);
+        // A->B seeds the temporal runs, anchors the static query, opens the windows.
+        let out = detector.on_event(ev(1, 0, 1, 0, 1)).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(detector.active_temporal_runs(), 2);
+        assert_eq!(detector.pending_static_anchors(), 1);
+        assert_eq!(detector.active_nodeset_runs(), 1);
+        detector.deregister(victim_t).unwrap();
+        detector.deregister(victim_s).unwrap();
+        detector.deregister(victim_n).unwrap();
+        assert_eq!(detector.active_temporal_runs(), 1, "victim run dropped");
+        assert_eq!(
+            detector.pending_static_anchors(),
+            0,
+            "victim anchor dropped"
+        );
+        assert_eq!(detector.active_nodeset_runs(), 0, "victim window dropped");
+        assert_eq!(detector.query_count(), 1);
+        // B->C would have completed every victim; only the survivor fires.
+        let mut detections = detector.on_event(ev(2, 1, 2, 1, 2)).unwrap();
+        detections.extend(detector.flush());
+        assert_eq!(
+            detections,
+            vec![Detection {
+                query: survivor,
+                start_ts: 1,
+                end_ts: 2
+            }]
+        );
+        // The victim ids are dead for good.
+        assert!(matches!(
+            detector.deregister(victim_t),
+            Err(DeregisterError::UnknownQuery { .. })
+        ));
+    }
+
+    #[test]
+    fn deregistering_one_query_leaves_the_others_parity_equal() {
+        // Survivor detections with a deregistered co-tenant must equal a run where the
+        // co-tenant never existed.
+        let g = test_graph();
+        let mut with_cycle = Detector::new();
+        let survivor_a = must_register(&mut with_cycle, CompiledQuery::Temporal(abc_pattern()), 5);
+        let victim = must_register(
+            &mut with_cycle,
+            CompiledQuery::Temporal(TemporalPattern::single_edge(l(0), l(1))),
+            5,
+        );
+        with_cycle.deregister(victim).unwrap();
+        let cycled: Vec<(u64, u64)> = replay(&mut with_cycle, &g)
+            .into_iter()
+            .inspect(|d| assert_eq!(d.query, survivor_a, "victim must stay silent"))
+            .map(|d| (d.start_ts, d.end_ts))
+            .collect();
+
+        let mut never = Detector::new();
+        must_register(&mut never, CompiledQuery::Temporal(abc_pattern()), 5);
+        let baseline: Vec<(u64, u64)> = replay(&mut never, &g)
+            .into_iter()
+            .map(|d| (d.start_ts, d.end_ts))
+            .collect();
+        assert_eq!(cycled, baseline);
+    }
+
+    #[test]
+    fn re_registration_behaves_like_a_fresh_mid_stream_registration() {
+        // register → deregister → re-register: the re-registered query gets a new id
+        // and exactly the detections a fresh registration at that point would get.
+        let pattern = TemporalPattern::single_edge(l(0), l(1));
+        let mut cycled = Detector::new();
+        let first = must_register(&mut cycled, CompiledQuery::Temporal(pattern.clone()), 5);
+        cycled.on_event(ev(1, 0, 1, 0, 1)).unwrap();
+        cycled.deregister(first).unwrap();
+
+        let mut fresh = Detector::new();
+        fresh.on_event(ev(1, 0, 1, 0, 1)).unwrap();
+
+        // Both register the query mid-stream, at the same point.
+        let re_reg = cycled
+            .register(CompiledQuery::Temporal(pattern.clone()), 5)
+            .unwrap();
+        let fresh_reg = fresh.register(CompiledQuery::Temporal(pattern), 5).unwrap();
+        assert_ne!(re_reg.id, first, "ids are never reused");
+        assert_eq!(re_reg.visible_from, fresh_reg.visible_from);
+        // The suffix completes the single-edge pattern twice; both detectors must
+        // attribute identical intervals to their (respective) registration.
+        let suffix = [ev(5, 0, 1, 0, 1), ev(6, 0, 1, 0, 1)];
+        let run = |detector: &mut Detector, id: QueryId| -> Vec<(u64, u64)> {
+            let mut out = detector.on_batch(&suffix).unwrap();
+            out.extend(detector.flush());
+            out.iter()
+                .inspect(|d| assert_eq!(d.query, id))
+                .map(|d| (d.start_ts, d.end_ts))
+                .collect()
+        };
+        let cycled_intervals = run(&mut cycled, re_reg.id);
+        let fresh_intervals = run(&mut fresh, fresh_reg.id);
+        assert_eq!(cycled_intervals, vec![(5, 5), (6, 6)]);
+        assert_eq!(cycled_intervals, fresh_intervals);
+        assert_eq!(cycled.query_count(), 1);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Typed errors for the streaming detection engine.
 
-use crate::detector::Detection;
+use crate::detector::{Detection, QueryId};
 use std::fmt;
 use tgraph::GraphError;
 
@@ -32,6 +32,33 @@ impl fmt::Display for RegisterError {
 }
 
 impl std::error::Error for RegisterError {}
+
+/// Why a deregistration failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeregisterError {
+    /// The id was never returned by a registration on this engine, or the query was
+    /// already deregistered. Ids are never reused, so a double deregistration is
+    /// always reported rather than silently hitting a later query.
+    UnknownQuery {
+        /// The offending query id.
+        id: QueryId,
+    },
+}
+
+impl fmt::Display for DeregisterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeregisterError::UnknownQuery { id } => {
+                write!(
+                    f,
+                    "query #{id} is not registered (unknown or already removed)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeregisterError {}
 
 /// A batch failed mid-way: event `index` was rejected, but the events before it were
 /// fully processed and their detections are in `emitted` — they are real detections and

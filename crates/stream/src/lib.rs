@@ -16,6 +16,10 @@
 //!   detections merge back into global timestamp order;
 //! * [`QueryTable`] — the registered-query state (queries, windows, first-edge seed
 //!   indexes) a single engine owns; it is the unit the sharded engine partitions;
+//! * [`DiscoveryPipeline`] — the mine→detect loop closed online: ingest labeled
+//!   training streams, mine discriminative patterns per behavior class with `tgminer`,
+//!   compile them through [`query::compile`], hot-register them on a running
+//!   [`ShardedDetector`], and score per-class precision/recall on held-out streams;
 //! * the temporal substrate lives in [`tgraph::IncrementalGraph`], and the per-edge
 //!   advance logic is shared with the offline search through [`query::matcher`].
 //!
@@ -23,7 +27,10 @@
 //!
 //! Registration rejects zero windows and trivially-empty queries with a typed
 //! [`RegisterError`], and reports (via [`Registration::visible_from`]) how far back a
-//! mid-stream registration can actually see. A batch that fails mid-way returns a
+//! mid-stream registration can actually see. Deregistration ([`Detector::deregister`],
+//! [`ShardedDetector::deregister`]) drops the query's in-flight partial matches, leaves
+//! every other query untouched, never reuses ids, and fails a stale or repeated id with
+//! a typed [`DeregisterError`]. A batch that fails mid-way returns a
 //! [`BatchError`] carrying the detections the valid prefix already produced — they are
 //! real detections and are never dropped on the error path.
 //!
@@ -40,11 +47,16 @@
 //! sizes and shard counts.
 
 pub mod detector;
+pub mod discovery;
 pub mod error;
 pub mod registry;
 pub mod shard;
 
 pub use detector::{CompiledQuery, Detection, Detector, QueryId, Registration, SeedKey};
-pub use error::{BatchError, RegisterError};
+pub use discovery::{
+    evaluate_deployed, macro_average, retire_deployed, ClassAccuracy, DeployedQuery,
+    DiscoveryError, DiscoveryPipeline, DiscoveryReport,
+};
+pub use error::{BatchError, DeregisterError, RegisterError};
 pub use registry::{QueryTable, Registered};
 pub use shard::{LabelPairStats, ShardedDetector};

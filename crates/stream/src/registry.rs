@@ -4,9 +4,14 @@
 //! This used to live inline in [`crate::detector::Detector`]; it is its own type so the
 //! sharded engine ([`crate::shard::ShardedDetector`]) can hand each shard an independent
 //! table holding only that shard's queries — the table *is* the unit of partitioning.
+//!
+//! Queries can be removed again ([`QueryTable::remove`]): the slot is tombstoned rather
+//! than compacted, so query ids stay stable for the engine's lifetime and are never
+//! reused — a detection can always be attributed unambiguously, and a stale id fails
+//! loudly instead of aliasing a later registration.
 
 use crate::detector::{CompiledQuery, QueryId, SeedKey};
-use crate::error::RegisterError;
+use crate::error::{DeregisterError, RegisterError};
 use std::collections::HashMap;
 use tgraph::Label;
 
@@ -36,19 +41,24 @@ impl Registered {
 /// Queries are keyed on their first edge's `(source label, destination label)` pair
 /// (keyword queries on each member label), so per event only the queries whose first
 /// edge can match are touched. Registration validates the query: zero windows and
-/// trivially-empty queries are rejected with a typed [`RegisterError`].
+/// trivially-empty queries are rejected with a typed [`RegisterError`]. Removal purges
+/// the seed indexes and recomputes the retention-driving static window, but leaves the
+/// slot tombstoned so ids never shift or get reused.
 #[derive(Debug, Clone, Default)]
 pub struct QueryTable {
-    queries: Vec<Registered>,
+    /// One slot per ever-registered query, indexed by id; `None` marks a removed query.
+    slots: Vec<Option<Registered>>,
+    /// Number of live (non-tombstoned) slots.
+    live: usize,
     /// Temporal queries by their first edge's label pair.
     temporal_seeds: HashMap<(Label, Label), Vec<QueryId>>,
     /// Static queries by their first edge's label pair.
     static_anchors: HashMap<(Label, Label), Vec<QueryId>>,
     /// Keyword queries by each member label.
     nodeset_labels: HashMap<Label, Vec<QueryId>>,
-    /// Largest window among *static* queries only — the only query type that reads the
-    /// buffered window (temporal and keyword runs carry their own state), so it alone
-    /// determines how much history the graph must retain.
+    /// Largest window among *live static* queries only — the only query type that reads
+    /// the buffered window (temporal and keyword runs carry their own state), so it
+    /// alone determines how much history the graph must retain. Recomputed on removal.
     max_static_window: u64,
 }
 
@@ -59,8 +69,8 @@ impl QueryTable {
     }
 
     /// Registers a query matched within `window` timestamp units, indexing it under its
-    /// seed labels. Returns its id (dense, starting at 0), or rejects a zero window /
-    /// trivially-empty query.
+    /// seed labels. Returns its id (dense over registrations, starting at 0), or
+    /// rejects a zero window / trivially-empty query.
     pub fn register(
         &mut self,
         query: CompiledQuery,
@@ -72,7 +82,7 @@ impl QueryTable {
         let Some(seed_key) = query.seed_key() else {
             return Err(RegisterError::EmptyQuery);
         };
-        let id = self.queries.len();
+        let id = self.slots.len();
         match seed_key {
             SeedKey::TemporalPair(src, dst) => {
                 self.temporal_seeds.entry((src, dst)).or_default().push(id);
@@ -87,23 +97,91 @@ impl QueryTable {
                 }
             }
         }
-        self.queries.push(Registered { query, window });
+        self.slots.push(Some(Registered { query, window }));
+        self.live += 1;
         Ok(id)
     }
 
-    /// Number of registered queries.
+    /// Removes a registered query: tombstones its slot, unlinks it from the seed
+    /// indexes (so no future event routes to it), and recomputes the static-window
+    /// maximum. Returns the removed registration; errs on an unknown or
+    /// already-removed id.
+    pub fn remove(&mut self, id: QueryId) -> Result<Registered, DeregisterError> {
+        let registered = self
+            .slots
+            .get_mut(id)
+            .and_then(Option::take)
+            .ok_or(DeregisterError::UnknownQuery { id })?;
+        self.live -= 1;
+        let seed_key = registered
+            .query
+            .seed_key()
+            .expect("registered queries always have a seed");
+        match seed_key {
+            SeedKey::TemporalPair(src, dst) => {
+                Self::unlink(&mut self.temporal_seeds, (src, dst), id);
+            }
+            SeedKey::StaticPair(src, dst) => {
+                Self::unlink(&mut self.static_anchors, (src, dst), id);
+                // The removed query may have been the one sizing the retention.
+                self.max_static_window = self
+                    .iter()
+                    .filter(|(_, r)| matches!(r.query(), CompiledQuery::Static(_)))
+                    .map(|(_, r)| r.window())
+                    .max()
+                    .unwrap_or(0);
+            }
+            SeedKey::NodeSetLabels(labels) => {
+                for label in labels {
+                    Self::unlink(&mut self.nodeset_labels, label, id);
+                }
+            }
+        }
+        Ok(registered)
+    }
+
+    /// Drops `id` from one seed-index posting list, removing the list when it empties.
+    fn unlink<K: std::hash::Hash + Eq>(index: &mut HashMap<K, Vec<QueryId>>, key: K, id: QueryId) {
+        if let Some(bucket) = index.get_mut(&key) {
+            bucket.retain(|&q| q != id);
+            if bucket.is_empty() {
+                index.remove(&key);
+            }
+        }
+    }
+
+    /// Number of live registered queries (removed queries do not count).
     pub fn len(&self) -> usize {
-        self.queries.len()
+        self.live
     }
 
-    /// Whether no query is registered.
+    /// Whether no query is live.
     pub fn is_empty(&self) -> bool {
-        self.queries.is_empty()
+        self.live == 0
     }
 
-    /// The largest window among registered *static* queries (0 without any). Only
-    /// static matches resolve against the buffered window, so this is what sizes the
-    /// graph's retention — temporal and keyword windows live in their runs instead.
+    /// Total number of registrations ever made — the next id to be assigned.
+    /// `len() < slot_count()` exactly when queries have been removed.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether `id` names a live registered query.
+    pub fn contains(&self, id: QueryId) -> bool {
+        self.slots.get(id).is_some_and(Option::is_some)
+    }
+
+    /// Iterates over the live queries as `(id, registration)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (QueryId, &Registered)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(id, slot)| slot.as_ref().map(|r| (id, r)))
+    }
+
+    /// The largest window among live *static* queries (0 without any). Only static
+    /// matches resolve against the buffered window, so this is what sizes the graph's
+    /// retention — temporal and keyword windows live in their runs instead.
     pub fn max_static_window(&self) -> u64 {
         self.max_static_window
     }
@@ -111,10 +189,13 @@ impl QueryTable {
     /// The registered query with id `id`.
     ///
     /// # Panics
-    /// Panics if `id` was not returned by [`QueryTable::register`] on this table.
+    /// Panics if `id` was not returned by [`QueryTable::register`] on this table, or
+    /// the query was removed.
     #[inline]
     pub fn get(&self, id: QueryId) -> &Registered {
-        &self.queries[id]
+        self.slots[id]
+            .as_ref()
+            .expect("query id points at a removed or unknown query")
     }
 
     /// Temporal queries whose first edge carries this label pair.
@@ -228,5 +309,85 @@ mod tests {
             )
             .unwrap();
         assert_eq!(id, 0);
+    }
+
+    #[test]
+    fn removal_tombstones_the_slot_and_purges_the_indexes() {
+        let mut table = QueryTable::new();
+        let t1 = table
+            .register(
+                CompiledQuery::Temporal(TemporalPattern::single_edge(l(0), l(1))),
+                5,
+            )
+            .unwrap();
+        let t2 = table
+            .register(
+                CompiledQuery::Temporal(TemporalPattern::single_edge(l(0), l(1))),
+                5,
+            )
+            .unwrap();
+        let n = table
+            .register(
+                CompiledQuery::NodeSet(NodeSetQuery {
+                    labels: vec![l(4), l(5)],
+                }),
+                5,
+            )
+            .unwrap();
+        assert_eq!(table.temporal_candidates(l(0), l(1)), &[t1, t2]);
+        let removed = table.remove(t1).unwrap();
+        assert_eq!(removed.window(), 5);
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.slot_count(), 3);
+        assert!(!table.contains(t1));
+        assert!(table.contains(t2));
+        assert_eq!(
+            table.temporal_candidates(l(0), l(1)),
+            &[t2],
+            "removed queries must not be routed to"
+        );
+        // Removing the keyword query clears both of its label postings entirely.
+        table.remove(n).unwrap();
+        assert!(table.nodeset_candidates(l(4)).is_empty());
+        assert!(table.nodeset_candidates(l(5)).is_empty());
+        // Double removal and unknown ids fail loudly; ids are never reused.
+        assert!(matches!(
+            table.remove(t1),
+            Err(DeregisterError::UnknownQuery { id }) if id == t1
+        ));
+        assert!(matches!(
+            table.remove(99),
+            Err(DeregisterError::UnknownQuery { id: 99 })
+        ));
+        let next = table
+            .register(
+                CompiledQuery::Temporal(TemporalPattern::single_edge(l(0), l(1))),
+                5,
+            )
+            .unwrap();
+        assert_eq!(next, 3, "tombstoned ids are not handed out again");
+        assert_eq!(table.iter().map(|(id, _)| id).collect::<Vec<_>>(), [1, 3]);
+    }
+
+    #[test]
+    fn removing_the_widest_static_query_shrinks_the_retention_window() {
+        let static_query = |a: u32, b: u32| {
+            CompiledQuery::Static(StaticPattern {
+                labels: vec![l(a), l(b)],
+                edges: vec![(0, 1)],
+            })
+        };
+        let mut table = QueryTable::new();
+        let narrow = table.register(static_query(0, 1), 10).unwrap();
+        let wide = table.register(static_query(2, 3), 100).unwrap();
+        assert_eq!(table.max_static_window(), 100);
+        table.remove(wide).unwrap();
+        assert_eq!(
+            table.max_static_window(),
+            10,
+            "retention follows the widest surviving static window"
+        );
+        table.remove(narrow).unwrap();
+        assert_eq!(table.max_static_window(), 0);
     }
 }

@@ -40,7 +40,7 @@
 //! the same intervals.
 
 use crate::detector::{CompiledQuery, Detection, Detector, QueryId, Registration, SeedKey};
-use crate::error::{BatchError, RegisterError};
+use crate::error::{BatchError, DeregisterError, RegisterError};
 use std::collections::HashMap;
 use tgraph::{EdgePostings, GraphError, IncrementalGraph, Label, StreamEvent, TemporalGraph};
 
@@ -162,6 +162,17 @@ impl Shard {
     }
 }
 
+/// Where one registered query lives: its shard, its shard-local id, and the estimated
+/// cost it contributes to that shard's load while registered.
+#[derive(Debug, Clone, Copy)]
+struct Placement {
+    shard: usize,
+    local: QueryId,
+    cost: u64,
+    /// `false` once the query has been deregistered (ids are never reused).
+    active: bool,
+}
+
 /// The sharded streaming detection engine: the [`Detector`] API, scaled across worker
 /// threads by partitioning the registered queries. See the module docs for the
 /// execution model.
@@ -171,8 +182,8 @@ pub struct ShardedDetector {
     /// Accumulated estimated cost per shard (the greedy assignment's state).
     loads: Vec<u64>,
     stats: LabelPairStats,
-    /// Global query id → owning shard (for observability; ids are dense).
-    placements: Vec<usize>,
+    /// Global query id → placement (ids are dense over registrations, never reused).
+    placements: Vec<Placement>,
     /// Whether batches fan out on worker threads. `false` on single-core machines
     /// (detected at construction): spawning workers that serialise on one CPU is pure
     /// overhead, so shards run inline there — same results, no threads.
@@ -218,9 +229,15 @@ impl ShardedDetector {
         self.shards.len()
     }
 
-    /// Number of registered queries across all shards.
+    /// Number of live registered queries across all shards (deregistered queries do
+    /// not count).
     pub fn query_count(&self) -> usize {
-        self.placements.len()
+        self.placements.iter().filter(|p| p.active).count()
+    }
+
+    /// Whether `query` names a live registered query.
+    pub fn is_registered(&self, query: QueryId) -> bool {
+        self.placements.get(query).is_some_and(|p| p.active)
     }
 
     /// Accumulated estimated cost per shard (the assignment balance).
@@ -228,14 +245,19 @@ impl ShardedDetector {
         &self.loads
     }
 
-    /// Number of queries per shard.
+    /// Number of live queries per shard.
     pub fn queries_per_shard(&self) -> Vec<usize> {
-        self.shards.iter().map(|s| s.global_ids.len()).collect()
+        let mut counts = vec![0usize; self.shards.len()];
+        for placement in self.placements.iter().filter(|p| p.active) {
+            counts[placement.shard] += 1;
+        }
+        counts
     }
 
-    /// The shard a registered query was assigned to.
+    /// The shard a registered query was assigned to (for a deregistered query: the
+    /// shard it last lived on).
     pub fn shard_of(&self, query: QueryId) -> usize {
-        self.placements[query]
+        self.placements[query].shard
     }
 
     /// Total partial-match branches dropped across all shards (see
@@ -273,12 +295,36 @@ impl ShardedDetector {
         let id = self.placements.len();
         debug_assert_eq!(local.id, shard.global_ids.len());
         shard.global_ids.push(id);
-        self.placements.push(shard_idx);
+        self.placements.push(Placement {
+            shard: shard_idx,
+            local: local.id,
+            cost,
+            active: true,
+        });
         self.loads[shard_idx] += cost;
         Ok(Registration {
             id,
             visible_from: local.visible_from,
         })
+    }
+
+    /// Deregisters a query mid-stream across the pool: same contract as
+    /// [`Detector::deregister`] (in-flight partial matches are dropped, other queries
+    /// are untouched), plus **shard-load rebalancing** — the query's estimated cost is
+    /// returned to its shard, so the freed capacity attracts subsequent registrations
+    /// instead of staying phantom-occupied. Ids are never reused; a stale or repeated
+    /// id fails with a typed [`DeregisterError`].
+    pub fn deregister(&mut self, query: QueryId) -> Result<(), DeregisterError> {
+        let placement = match self.placements.get(query) {
+            Some(p) if p.active => *p,
+            _ => return Err(DeregisterError::UnknownQuery { id: query }),
+        };
+        self.shards[placement.shard]
+            .detector
+            .deregister(placement.local)?;
+        self.placements[query].active = false;
+        self.loads[placement.shard] -= placement.cost;
+        Ok(())
     }
 
     /// Processes one event; returns its detections in global timestamp order.
@@ -595,6 +641,151 @@ mod tests {
             Some(10),
             "a shard retains only what its own queries need"
         );
+    }
+
+    #[test]
+    fn deregistration_rebalances_the_freed_shard_load() {
+        // The hot query occupies one shard; once it is deregistered, its cost must be
+        // returned so the next registrations fill the freed shard first.
+        let mut stats = LabelPairStats::new();
+        for _ in 0..100 {
+            stats.record(l(0), l(1));
+        }
+        let mut pool = ShardedDetector::with_stats(2, stats);
+        let hot = pool
+            .register(CompiledQuery::Temporal(abc_pattern()), 5)
+            .unwrap();
+        let hot_shard = pool.shard_of(hot.id);
+        assert_eq!(pool.shard_loads()[hot_shard], 100);
+        pool.deregister(hot.id).unwrap();
+        assert!(!pool.is_registered(hot.id));
+        assert_eq!(pool.query_count(), 0);
+        assert_eq!(pool.shard_loads(), &[0, 0], "freed cost is subtracted");
+        assert_eq!(pool.queries_per_shard(), vec![0, 0]);
+        // Double deregistration fails loudly; ids are never reused.
+        assert!(matches!(
+            pool.deregister(hot.id),
+            Err(DeregisterError::UnknownQuery { .. })
+        ));
+        let next = pool
+            .register(CompiledQuery::Temporal(abc_pattern()), 5)
+            .unwrap();
+        assert_ne!(next.id, hot.id);
+    }
+
+    #[test]
+    fn deregistering_mid_stream_silences_only_that_query() {
+        // Two single-edge queries land on different shards; deregistering one mid-batch
+        // sequence must leave the other's detections parity-equal to a pool where the
+        // victim was never registered (same shard layout).
+        let mut pool = ShardedDetector::new(2);
+        let survivor = pool
+            .register(
+                CompiledQuery::Temporal(TemporalPattern::single_edge(l(0), l(1))),
+                5,
+            )
+            .unwrap()
+            .id;
+        let victim = pool
+            .register(
+                CompiledQuery::Temporal(TemporalPattern::single_edge(l(0), l(1))),
+                5,
+            )
+            .unwrap()
+            .id;
+        assert_ne!(pool.shard_of(survivor), pool.shard_of(victim));
+        let mut out = pool.on_batch(&[ev(1, 0, 1, 0, 1)]).unwrap();
+        pool.deregister(victim).unwrap();
+        out.extend(pool.on_batch(&[ev(2, 0, 1, 0, 1)]).unwrap());
+        out.extend(pool.flush());
+        let survivor_intervals: Vec<(u64, u64)> = out
+            .iter()
+            .filter(|d| d.query == survivor)
+            .map(|d| (d.start_ts, d.end_ts))
+            .collect();
+        assert!(
+            out.iter()
+                .filter(|d| d.query == victim)
+                .all(|d| d.end_ts <= 1),
+            "the victim is silent from the deregistration on"
+        );
+
+        let mut baseline = ShardedDetector::new(2);
+        let only = baseline
+            .register(
+                CompiledQuery::Temporal(TemporalPattern::single_edge(l(0), l(1))),
+                5,
+            )
+            .unwrap()
+            .id;
+        let mut expected = baseline.on_batch(&[ev(1, 0, 1, 0, 1)]).unwrap();
+        expected.extend(baseline.on_batch(&[ev(2, 0, 1, 0, 1)]).unwrap());
+        expected.extend(baseline.flush());
+        let expected_intervals: Vec<(u64, u64)> = expected
+            .iter()
+            .filter(|d| d.query == only)
+            .map(|d| (d.start_ts, d.end_ts))
+            .collect();
+        assert_eq!(survivor_intervals, expected_intervals);
+    }
+
+    #[test]
+    fn register_deregister_reregister_matches_a_fresh_registration() {
+        // The cycle must leave the pool exactly as if the query had only ever been
+        // registered at the final point: same shard layout, same detections.
+        let query = || CompiledQuery::Temporal(TemporalPattern::single_edge(l(0), l(1)));
+        let mut cycled = ShardedDetector::new(2);
+        let co_tenant = cycled.register(query(), 5).unwrap().id;
+        let first = cycled.register(query(), 5).unwrap().id;
+        cycled.on_batch(&[ev(1, 0, 1, 0, 1)]).unwrap();
+        cycled.deregister(first).unwrap();
+        let re_registered = cycled.register(query(), 5).unwrap().id;
+        // Load rebalancing on removal: the re-registration takes the freed slot, so
+        // the layout equals a pool that never saw the cycle.
+        assert_eq!(cycled.shard_of(re_registered), pool_shard_of_second());
+        assert_eq!(cycled.queries_per_shard(), vec![1, 1]);
+
+        let mut fresh = ShardedDetector::new(2);
+        let fresh_co = fresh.register(query(), 5).unwrap().id;
+        fresh.on_batch(&[ev(1, 0, 1, 0, 1)]).unwrap();
+        let fresh_second = fresh.register(query(), 5).unwrap().id;
+
+        let suffix = [ev(2, 0, 1, 0, 1), ev(3, 0, 1, 0, 1)];
+        let mut cycled_out = cycled.on_batch(&suffix).unwrap();
+        cycled_out.extend(cycled.flush());
+        let mut fresh_out = fresh.on_batch(&suffix).unwrap();
+        fresh_out.extend(fresh.flush());
+        let per = |out: &[Detection], id: QueryId| -> Vec<(u64, u64)> {
+            out.iter()
+                .filter(|d| d.query == id)
+                .map(|d| (d.start_ts, d.end_ts))
+                .collect()
+        };
+        assert_eq!(
+            per(&cycled_out, re_registered),
+            per(&fresh_out, fresh_second)
+        );
+        assert_eq!(per(&cycled_out, co_tenant), per(&fresh_out, fresh_co));
+    }
+
+    /// The shard the *second* registration of two equal-cost queries lands on in a
+    /// fresh two-shard pool (the greedy assignment is deterministic: loads tie, query
+    /// counts tie-break, then the shard index).
+    fn pool_shard_of_second() -> usize {
+        let mut probe = ShardedDetector::new(2);
+        probe
+            .register(
+                CompiledQuery::Temporal(TemporalPattern::single_edge(l(0), l(1))),
+                5,
+            )
+            .unwrap();
+        let second = probe
+            .register(
+                CompiledQuery::Temporal(TemporalPattern::single_edge(l(0), l(1))),
+                5,
+            )
+            .unwrap();
+        probe.shard_of(second.id)
     }
 
     #[test]

@@ -6,9 +6,32 @@
 //! delivered in timestamp order in batches of a configurable size. Replaying a dataset
 //! through the detector is how the parity tests check streaming results against the
 //! offline search, and how the throughput benchmark drives the engine.
+//!
+//! [`LabeledStreamSource`] is the training-side twin: it replays a [`TrainingData`]
+//! dataset as a sequence of *labeled traces* — each trace is one behavior execution (or
+//! one background window) delivered as events plus its class tag. This is the wire
+//! format the online discovery pipeline (`stream::discovery`) ingests: a monitoring
+//! deployment receives labeled example streams, not materialised graph objects.
 
+use crate::behaviors::Behavior;
+use crate::dataset::TrainingData;
 use crate::testdata::TestData;
 use tgraph::{StreamEvent, TemporalGraph};
+
+/// The events a materialised temporal graph would have produced, in timestamp order.
+pub fn events_of_graph(graph: &TemporalGraph) -> Vec<StreamEvent> {
+    graph
+        .edges()
+        .iter()
+        .map(|edge| StreamEvent {
+            ts: edge.ts,
+            src: edge.src,
+            dst: edge.dst,
+            src_label: graph.label(edge.src),
+            dst_label: graph.label(edge.dst),
+        })
+        .collect()
+}
 
 /// An ordered, batched event stream over a materialised temporal graph.
 #[derive(Debug, Clone)]
@@ -26,19 +49,8 @@ impl StreamSource {
     /// Panics if `batch_size` is zero.
     pub fn from_graph(graph: &TemporalGraph, batch_size: usize) -> Self {
         assert!(batch_size > 0, "batch size must be positive");
-        let events = graph
-            .edges()
-            .iter()
-            .map(|edge| StreamEvent {
-                ts: edge.ts,
-                src: edge.src,
-                dst: edge.dst,
-                src_label: graph.label(edge.src),
-                dst_label: graph.label(edge.dst),
-            })
-            .collect();
         Self {
-            events,
+            events: events_of_graph(graph),
             batch_size,
             cursor: 0,
         }
@@ -95,9 +107,122 @@ impl StreamSource {
     }
 }
 
+/// The class tag of one labeled training trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceLabel {
+    /// The trace is one execution of this target behavior (a positive example).
+    Behavior(Behavior),
+    /// The trace is background activity (a negative example for every behavior).
+    Background,
+}
+
+impl TraceLabel {
+    /// The tagged behavior, or `None` for background traces.
+    pub fn behavior(self) -> Option<Behavior> {
+        match self {
+            TraceLabel::Behavior(behavior) => Some(behavior),
+            TraceLabel::Background => None,
+        }
+    }
+
+    /// Human-readable class name (`"background"` for background traces).
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceLabel::Behavior(behavior) => behavior.name(),
+            TraceLabel::Background => "background",
+        }
+    }
+}
+
+/// One labeled training trace: a class tag plus the trace's events in timestamp order.
+/// Node ids are scoped to the trace (each trace is an independent execution), and
+/// timestamps are strictly increasing *within* the trace only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabeledTrace {
+    /// The trace's class.
+    pub label: TraceLabel,
+    /// The trace's events.
+    pub events: Vec<StreamEvent>,
+}
+
+/// A training dataset replayed as an ordered sequence of labeled traces — the ingest
+/// format of the online discovery pipeline.
+#[derive(Debug, Clone)]
+pub struct LabeledStreamSource {
+    traces: Vec<LabeledTrace>,
+    cursor: usize,
+}
+
+impl LabeledStreamSource {
+    /// Replays a generated training dataset: every behavior's positive traces (in
+    /// [`Behavior::all`] order, as [`TrainingData`] stores them) followed by the
+    /// background traces.
+    pub fn from_training_data(data: &TrainingData) -> Self {
+        let mut traces = Vec::new();
+        for dataset in &data.behaviors {
+            for graph in &dataset.graphs {
+                traces.push(LabeledTrace {
+                    label: TraceLabel::Behavior(dataset.behavior),
+                    events: events_of_graph(graph),
+                });
+            }
+        }
+        for graph in &data.background {
+            traces.push(LabeledTrace {
+                label: TraceLabel::Background,
+                events: events_of_graph(graph),
+            });
+        }
+        Self { traces, cursor: 0 }
+    }
+
+    /// A source over explicit traces (fixture corpora, captured telemetry).
+    pub fn from_traces(traces: Vec<LabeledTrace>) -> Self {
+        Self { traces, cursor: 0 }
+    }
+
+    /// All traces, independent of the cursor.
+    pub fn traces(&self) -> &[LabeledTrace] {
+        &self.traces
+    }
+
+    /// Number of traces in the source.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Whether the source has no traces.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Traces not yet delivered.
+    pub fn remaining(&self) -> usize {
+        self.traces.len() - self.cursor
+    }
+
+    /// Total number of events across all traces.
+    pub fn event_count(&self) -> usize {
+        self.traces.iter().map(|t| t.events.len()).sum()
+    }
+
+    /// Delivers the next labeled trace, or `None` at end of stream.
+    pub fn next_trace(&mut self) -> Option<&LabeledTrace> {
+        let trace = self.traces.get(self.cursor)?;
+        self.cursor += 1;
+        Some(trace)
+    }
+
+    /// Rewinds the stream to the first trace.
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dataset::DatasetConfig;
     use crate::testdata::TestDataConfig;
     use tgraph::LabelInterner;
 
@@ -151,5 +276,43 @@ mod tests {
     fn zero_batch_size_is_rejected() {
         let data = TestData::generate(&TestDataConfig::tiny(), LabelInterner::new());
         let _ = StreamSource::from_test_data(&data, 0);
+    }
+
+    #[test]
+    fn labeled_replay_covers_every_training_trace_in_order() {
+        let config = DatasetConfig::tiny();
+        let training = TrainingData::generate(&config);
+        let mut source = LabeledStreamSource::from_training_data(&training);
+        assert_eq!(
+            source.len(),
+            12 * config.graphs_per_behavior + config.background_graphs
+        );
+        assert_eq!(
+            source.event_count(),
+            training.all_graphs().map(|g| g.edge_count()).sum::<usize>()
+        );
+        // The first trace replays the first behavior's first graph exactly.
+        let first = source.next_trace().expect("non-empty source").clone();
+        assert_eq!(
+            first.label,
+            TraceLabel::Behavior(training.behaviors[0].behavior)
+        );
+        let graph = &training.behaviors[0].graphs[0];
+        assert_eq!(first.events, events_of_graph(graph));
+        assert_eq!(first.events.len(), graph.edge_count());
+        // Background traces come last, and the cursor walks every trace once.
+        assert_eq!(source.remaining(), source.len() - 1);
+        let mut background = 0usize;
+        while let Some(trace) = source.next_trace() {
+            if trace.label == TraceLabel::Background {
+                assert_eq!(trace.label.behavior(), None);
+                assert_eq!(trace.label.name(), "background");
+                background += 1;
+            }
+        }
+        assert_eq!(background, config.background_graphs);
+        assert_eq!(source.remaining(), 0);
+        source.reset();
+        assert_eq!(source.remaining(), source.len());
     }
 }
