@@ -7,15 +7,37 @@
 //! the held-out monitoring graph is replayed as a live event stream, and every class is
 //! scored against ground truth with the paper's precision/recall definitions.
 //!
+//! The pipeline and detector run fully instrumented: per-stage timings
+//! (`pipeline.{ingest,mine,compile,register,evaluate}_ns`), per-growth-level mining
+//! counters (`miner.level<N>.*`), and per-shard detector metrics feed the
+//! machine-readable `BENCH_e2e_accuracy_<scale>.json` artifact (schema
+//! `bench-report/v1`), whose `extra.stages` carries the stage breakdown. Set
+//! `BQ_TRACE=1` to additionally stream structured lifecycle events to stderr as JSON
+//! lines.
+//!
 //! Scale via `BQ_SCALE` (`tiny`/`small`/`paper`); shard count via `BQ_SHARDS`
-//! (default 2). Exits non-zero when the dataset is empty or the run is degenerate
-//! (no class identified anything), so CI smoke runs fail instead of printing 0/0
-//! artifacts.
+//! (default 2); artifact directory via `BQ_BENCH_DIR`. Exits non-zero when the dataset
+//! is empty or the run is degenerate (no class identified anything), so CI smoke runs
+//! fail instead of printing 0/0 artifacts.
 
-use bench::{pct, print_header, print_row, test_data, training_data, Scale};
+use bench::{pct, print_header, print_row, test_data, training_data, write_bench_report, Scale};
+use obs::{BenchReport, Json, LatencySummary, MetricsRegistry, SharedSink, StderrSink};
 use query::QueryOptions;
-use stream::{macro_average, DiscoveryPipeline};
+use std::time::Instant;
+use stream::{evaluate_deployed, macro_average, DiscoveryPipeline, ShardedDetector};
 use syscall::{Behavior, LabeledStreamSource, TraceLabel};
+
+/// Summarizes one pipeline-stage histogram as `{count, total_ns, mean_ns}`.
+fn stage_json(snapshot: &obs::MetricsSnapshot, name: &str) -> Json {
+    match snapshot.histogram(name) {
+        Some(h) if h.count > 0 => Json::Obj(vec![
+            ("count".into(), Json::from_u64(h.count)),
+            ("total_ns".into(), Json::from_u64(h.sum)),
+            ("mean_ns".into(), Json::Num(h.mean())),
+        ]),
+        _ => Json::Obj(vec![("count".into(), Json::from_u64(0))]),
+    }
+}
 
 fn main() {
     let scale = Scale::from_env();
@@ -48,9 +70,16 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .filter(|&n| n > 0)
         .unwrap_or(2);
+    let tracing = std::env::var("BQ_TRACE").is_ok_and(|v| v == "1");
+
+    let registry = MetricsRegistry::new();
+    let mut pipeline = DiscoveryPipeline::new(options);
+    pipeline.instrument(&registry);
+    if tracing {
+        pipeline.set_trace_sink(Some(SharedSink::new(StderrSink)));
+    }
 
     // ---- Train: ingest the labeled training streams. --------------------------------
-    let mut pipeline = DiscoveryPipeline::new(options);
     let mut source = LabeledStreamSource::from_training_data(&training);
     let mut ingested = 0usize;
     while let Some(trace) = source.next_trace() {
@@ -71,18 +100,39 @@ fn main() {
     );
 
     // ---- Evaluate: mine, compile, hot-register, stream, score. ----------------------
+    // The evaluate_split loop, opened up so the detector itself can be instrumented.
     eprintln!(
         "[e2e] mining {} classes, deploying, and streaming {} held-out events...",
         behaviors.len(),
         test.graph.edge_count()
     );
-    let report = match pipeline.evaluate_split(&test, shards, 1024) {
-        Ok(report) => report,
+    let mut detector = ShardedDetector::with_stats(shards, pipeline.stats().clone());
+    detector.instrument(&registry);
+    if tracing {
+        detector.set_trace_sink(Some(SharedSink::new(StderrSink)));
+    }
+    let deployed = match pipeline.deploy_all(&mut detector, test.max_duration) {
+        Ok(deployed) => deployed,
         Err(error) => {
-            eprintln!("[e2e] discovery run failed: {error}");
+            eprintln!("[e2e] mined query rejected at registration: {error}");
             std::process::exit(1);
         }
     };
+    let streaming_start = Instant::now();
+    let classes = match evaluate_deployed(&mut detector, &deployed, &test, 1024) {
+        Ok(classes) => classes,
+        Err(error) => {
+            eprintln!("[e2e] held-out stream failed: {error}");
+            std::process::exit(1);
+        }
+    };
+    let streaming_elapsed = streaming_start.elapsed();
+    // The evaluation ran inline (so the detector itself could be instrumented)
+    // instead of through `DiscoveryPipeline::evaluate_split`; record the stage
+    // timing into the same histogram that path would have used.
+    registry
+        .histogram("pipeline.evaluate_ns")
+        .record(streaming_elapsed.as_nanos() as u64);
 
     let widths = [20, 9, 9, 12, 11];
     println!(
@@ -91,7 +141,7 @@ fn main() {
         shards
     );
     print_header(&["behavior", "P", "R", "identified", "instances"], &widths);
-    for class in &report.classes {
+    for class in &classes {
         print_row(
             &[
                 class.behavior.name().to_string(),
@@ -104,12 +154,12 @@ fn main() {
         );
     }
 
-    let identified_total: usize = report.classes.iter().map(|c| c.report.identified).sum();
+    let identified_total: usize = classes.iter().map(|c| c.report.identified).sum();
     if identified_total == 0 {
         eprintln!("[e2e] degenerate run: no class identified a single instance");
         std::process::exit(1);
     }
-    let Some((precision, recall)) = macro_average(&report.classes) else {
+    let Some((precision, recall)) = macro_average(&classes) else {
         eprintln!("[e2e] no class was evaluated");
         std::process::exit(2);
     };
@@ -119,8 +169,7 @@ fn main() {
             pct(precision),
             pct(recall),
             identified_total.to_string(),
-            report
-                .classes
+            classes
                 .iter()
                 .map(|c| c.report.instances)
                 .sum::<usize>()
@@ -131,7 +180,99 @@ fn main() {
     println!(
         "\n{} queries deployed across {} shards; paper reference (TGMiner, offline): \
          precision 97.4, recall 91.1",
-        report.deployed.len(),
+        deployed.len(),
         shards
     );
+
+    // ---- Report: the machine-readable artifact. -------------------------------------
+    let snapshot = registry.snapshot();
+    let shard_stats = detector.shard_stats();
+    let mut memory_high_water = 0u64;
+    let mut retained_high_water = 0u64;
+    for shard in 0..shards {
+        if let Some((_, hw)) = snapshot.gauge(&format!("detector.shard{shard}.memory_bytes")) {
+            memory_high_water += hw;
+        }
+        if let Some((_, hw)) = snapshot.gauge(&format!("detector.shard{shard}.retained_edges")) {
+            retained_high_water += hw;
+        }
+    }
+    let events = test.graph.edge_count() as u64;
+    let mut report = BenchReport::new("e2e_accuracy", scale.name());
+    report.events = events;
+    report.detections = shard_stats.iter().map(|s| s.detections).sum();
+    report.elapsed_ns = streaming_elapsed.as_nanos() as u64;
+    report.events_per_sec = events as f64 / streaming_elapsed.as_secs_f64();
+    report.latency = snapshot
+        .histogram("detector.shard0.batch_latency_ns")
+        .filter(|h| h.count > 0)
+        .map(LatencySummary::from_histogram)
+        .unwrap_or_default();
+    report.memory_high_water_bytes = memory_high_water;
+    report.retained_edges = retained_high_water;
+    report.shards = shard_stats;
+    report.extra = vec![
+        (
+            "stages".into(),
+            Json::Obj(
+                ["ingest", "mine", "compile", "register", "evaluate"]
+                    .iter()
+                    .map(|stage| {
+                        (
+                            stage.to_string(),
+                            stage_json(&snapshot, &format!("pipeline.{stage}_ns")),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "pipeline".into(),
+            Json::Obj(
+                [
+                    "pipeline.traces_ingested",
+                    "pipeline.patterns_mined",
+                    "pipeline.queries_deployed",
+                    "miner.patterns_processed",
+                    "miner.embeddings_materialized",
+                ]
+                .iter()
+                .map(|name| {
+                    (
+                        name.rsplit('.').next().expect("non-empty name").to_string(),
+                        Json::from_u64(snapshot.counter(name).unwrap_or(0)),
+                    )
+                })
+                .collect(),
+            ),
+        ),
+        (
+            "accuracy".into(),
+            Json::Obj(
+                classes
+                    .iter()
+                    .map(|class| {
+                        (
+                            class.behavior.name().to_string(),
+                            Json::Obj(vec![
+                                ("precision".into(), Json::Num(class.report.precision())),
+                                ("recall".into(), Json::Num(class.report.recall())),
+                            ]),
+                        )
+                    })
+                    .chain(std::iter::once((
+                        "macro_average".into(),
+                        Json::Obj(vec![
+                            ("precision".into(), Json::Num(precision)),
+                            ("recall".into(), Json::Num(recall)),
+                        ]),
+                    )))
+                    .collect(),
+            ),
+        ),
+    ];
+    if let Err(error) = write_bench_report(&report) {
+        eprintln!("[e2e] failed to write bench report: {error}");
+        std::process::exit(1);
+    }
 }

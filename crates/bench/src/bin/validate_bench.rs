@@ -1,0 +1,52 @@
+//! Validates committed/emitted benchmark artifacts against the `bench-report/v1`
+//! schema (see `obs::report`): every required field must be present and every
+//! required numeric field finite — a `NaN` throughput renders as JSON `null` and
+//! fails here instead of being silently committed.
+//!
+//! Usage: `validate_bench BENCH_<bin>_<scale>.json [more files...]`
+//!
+//! Exits 0 when every file validates, 1 on any unreadable, unparseable, or invalid
+//! file, and 2 when invoked without arguments.
+
+use obs::report::validate;
+use obs::Json;
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: validate_bench BENCH_<bin>_<scale>.json [more files...]");
+        std::process::exit(2);
+    }
+
+    let mut failed = false;
+    for file in &files {
+        let body = match std::fs::read_to_string(file) {
+            Ok(body) => body,
+            Err(error) => {
+                eprintln!("{file}: unreadable: {error}");
+                failed = true;
+                continue;
+            }
+        };
+        let doc = match Json::parse(&body) {
+            Ok(doc) => doc,
+            Err(error) => {
+                eprintln!("{file}: invalid JSON: {error}");
+                failed = true;
+                continue;
+            }
+        };
+        let problems = validate(&doc);
+        if problems.is_empty() {
+            let bin = doc.get("bin").and_then(Json::as_str).unwrap_or("?");
+            let scale = doc.get("scale").and_then(Json::as_str).unwrap_or("?");
+            println!("{file}: ok ({bin} @ {scale})");
+        } else {
+            for problem in &problems {
+                eprintln!("{file}: {problem}");
+            }
+            failed = true;
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

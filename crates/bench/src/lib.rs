@@ -14,6 +14,8 @@
 //! * `small` — default; minutes in release mode; reproduces every experiment's *shape*.
 //! * `paper` — the paper's nominal sizes (slow; only use for targeted runs).
 
+use obs::BenchReport;
+use std::path::PathBuf;
 use syscall::{Behavior, DatasetConfig, SizeClass, TestData, TestDataConfig, TrainingData};
 
 /// Experiment scale selected through the `BQ_SCALE` environment variable.
@@ -67,6 +69,22 @@ impl Scale {
             Scale::Paper => "paper",
         }
     }
+}
+
+/// Directory benchmark artifacts (`BENCH_<bin>_<scale>.json`) are written to:
+/// `BQ_BENCH_DIR`, defaulting to the working directory. CI and local runs invoke the
+/// binaries from the repo root, which is where the committed artifacts live.
+pub fn bench_output_dir() -> PathBuf {
+    std::env::var_os("BQ_BENCH_DIR").map_or_else(|| PathBuf::from("."), PathBuf::from)
+}
+
+/// Writes `report` into [`bench_output_dir`] under its canonical file name and
+/// reports the path on stderr. Returns the written path.
+pub fn write_bench_report(report: &BenchReport) -> std::io::Result<PathBuf> {
+    let path = bench_output_dir().join(report.file_name());
+    std::fs::write(&path, report.render())?;
+    eprintln!("[bench] wrote {}", path.display());
+    Ok(path)
 }
 
 /// Generates the training data for the selected scale, reporting progress on stderr.
@@ -173,5 +191,19 @@ mod tests {
     fn formatting_helpers_are_stable() {
         assert_eq!(pct(0.974), "97.4");
         assert_eq!(secs(std::time::Duration::from_millis(1500)), "1.500");
+    }
+
+    #[test]
+    fn bench_reports_write_where_bq_bench_dir_points() {
+        let dir = std::env::temp_dir().join("bq-bench-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("BQ_BENCH_DIR", &dir);
+        let report = BenchReport::new("unit_test", "tiny");
+        let path = write_bench_report(&report).unwrap();
+        std::env::remove_var("BQ_BENCH_DIR");
+        assert_eq!(path, dir.join("BENCH_unit_test_tiny.json"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("bench-report/v1"));
+        std::fs::remove_file(&path).unwrap();
     }
 }

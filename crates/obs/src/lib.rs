@@ -1,0 +1,41 @@
+//! # obs — observability substrate
+//!
+//! Hand-rolled, zero-dependency instrumentation for the streaming detection engine
+//! (this environment is offline; no `prometheus`/`tracing`/`serde` are available, and
+//! none are needed for the job):
+//!
+//! * [`metrics`] — a [`MetricsRegistry`] of atomic [`Counter`]s (saturating),
+//!   [`Gauge`]s (with high-water tracking), and fixed-bucket log-scale [`Histogram`]s
+//!   whose snapshots estimate p50/p95/p99 within a factor-of-two error bound.
+//!   Handles are cheap `Arc`s around atomics: hot paths clone a handle once and never
+//!   touch the registry (or a lock) again.
+//! * [`trace`] — a callback-based structured tracing sink ([`TraceSink`]) for
+//!   lifecycle events: query register/deregister/hot-swap, shard rebalance, batch
+//!   errors, retention evictions, mining growth levels, pipeline stages.
+//! * [`json`] — a minimal JSON document model ([`Json`]) with a stable writer and a
+//!   strict parser, enough to persist and validate machine-readable artifacts.
+//! * [`report`] — the committed benchmark artifact format: [`BenchReport`] renders to
+//!   and validates the stable `BENCH_<bin>_<scale>.json` schema
+//!   ([`report::BENCH_SCHEMA`]) that records the repo's performance trajectory
+//!   (events/sec, latency percentiles, memory high-water, per-shard breakdown).
+//!
+//! ## Design rules
+//!
+//! Instrumentation must be **inert**: attaching metrics or a trace sink may never
+//! change what a detector detects (checked by `crates/stream/tests/
+//! instrumentation_parity.rs`), and the uninstrumented hot path pays exactly one
+//! `Option` branch. All metric writers are lock-free atomics, safe to tick from
+//! scoped worker threads; only registry lookups (construction-time) take a lock.
+
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod trace;
+
+pub use json::{Json, JsonError};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricKind, MetricValue, MetricsRegistry,
+    MetricsSnapshot,
+};
+pub use report::{BenchReport, LatencySummary, ShardStat};
+pub use trace::{CollectingSink, NullSink, SharedSink, StderrSink, TraceEvent, TraceSink};

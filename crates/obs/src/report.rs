@@ -1,0 +1,350 @@
+//! The committed benchmark artifact: `BENCH_<bin>_<scale>.json`.
+//!
+//! Benchmark binaries render a [`BenchReport`] to a stable, versioned JSON schema
+//! and write it next to the repo root. The files are committed, so every PR's diff
+//! shows its performance delta — the ROADMAP's "persistent perf trajectory". CI
+//! re-emits them at tiny scale and runs [`validate`] against the fresh output,
+//! failing on missing or non-finite required fields (a `NaN` events/sec renders as
+//! `null` and is caught here, not silently committed).
+//!
+//! ## Schema (`bench-report/v1`)
+//!
+//! ```json
+//! {
+//!   "schema": "bench-report/v1",
+//!   "bin": "stream_throughput",          // emitting binary
+//!   "scale": "tiny",                     // BQ_SCALE the run used
+//!   "events": 12800,                     // events processed (primary config)
+//!   "detections": 42,                    // detections emitted
+//!   "elapsed_ns": 104857600,             // wall-clock of the measured section
+//!   "events_per_sec": 122070.3,          // required finite
+//!   "latency": {                         // per-batch latency percentiles, ns
+//!     "unit": "ns",
+//!     "p50": 1023, "p95": 4095, "p99": 8191, "mean": 1500.2, "max": 9000
+//!   },
+//!   "memory": {
+//!     "high_water_bytes": 1048576,       // detector memory estimate high-water
+//!     "retained_edges": 2048             // retained-edge high-water
+//!   },
+//!   "shards": [                          // per-shard breakdown (1 entry if unsharded)
+//!     {"shard": 0, "events": 12800, "detections": 42, "queries": 8, "load": 512}
+//!   ],
+//!   "extra": { ... }                     // bin-specific, schema-free
+//! }
+//! ```
+
+use crate::json::Json;
+use crate::metrics::HistogramSnapshot;
+
+/// The schema identifier embedded in (and required of) every report.
+pub const BENCH_SCHEMA: &str = "bench-report/v1";
+
+/// Latency percentile summary in nanoseconds, typically from a [`HistogramSnapshot`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Median, ns.
+    pub p50_ns: u64,
+    /// 95th percentile, ns.
+    pub p95_ns: u64,
+    /// 99th percentile, ns.
+    pub p99_ns: u64,
+    /// Arithmetic mean, ns.
+    pub mean_ns: f64,
+    /// Maximum, ns.
+    pub max_ns: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes a histogram of nanosecond observations.
+    pub fn from_histogram(snapshot: &HistogramSnapshot) -> Self {
+        Self {
+            p50_ns: snapshot.p50(),
+            p95_ns: snapshot.p95(),
+            p99_ns: snapshot.p99(),
+            mean_ns: snapshot.mean(),
+            max_ns: snapshot.max,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("unit".into(), Json::Str("ns".into())),
+            ("p50".into(), Json::from_u64(self.p50_ns)),
+            ("p95".into(), Json::from_u64(self.p95_ns)),
+            ("p99".into(), Json::from_u64(self.p99_ns)),
+            ("mean".into(), Json::Num(self.mean_ns)),
+            ("max".into(), Json::from_u64(self.max_ns)),
+        ])
+    }
+}
+
+/// One shard's contribution to a run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ShardStat {
+    /// Shard index.
+    pub shard: usize,
+    /// Events the shard processed.
+    pub events: u64,
+    /// Detections the shard emitted.
+    pub detections: u64,
+    /// Queries placed on the shard.
+    pub queries: usize,
+    /// The placement cost model's estimated load.
+    pub load: u64,
+}
+
+impl ShardStat {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("shard".into(), Json::from_u64(self.shard as u64)),
+            ("events".into(), Json::from_u64(self.events)),
+            ("detections".into(), Json::from_u64(self.detections)),
+            ("queries".into(), Json::from_u64(self.queries as u64)),
+            ("load".into(), Json::from_u64(self.load)),
+        ])
+    }
+}
+
+/// A benchmark run's machine-readable result. See the module docs for the schema.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BenchReport {
+    /// Emitting binary name (`stream_throughput`, `e2e_accuracy`).
+    pub bin: String,
+    /// The `BQ_SCALE` the run used.
+    pub scale: String,
+    /// Events processed in the primary configuration.
+    pub events: u64,
+    /// Detections emitted in the primary configuration.
+    pub detections: u64,
+    /// Wall-clock nanoseconds of the measured section.
+    pub elapsed_ns: u64,
+    /// Throughput of the primary configuration.
+    pub events_per_sec: f64,
+    /// Per-batch latency summary.
+    pub latency: LatencySummary,
+    /// Detector memory-estimate high-water mark, bytes.
+    pub memory_high_water_bytes: u64,
+    /// Retained-edge high-water mark.
+    pub retained_edges: u64,
+    /// Per-shard breakdown (one entry for unsharded runs).
+    pub shards: Vec<ShardStat>,
+    /// Bin-specific extras, outside the validated schema.
+    pub extra: Vec<(String, Json)>,
+}
+
+impl BenchReport {
+    /// An empty report for `bin` at `scale`.
+    pub fn new(bin: &str, scale: &str) -> Self {
+        Self {
+            bin: bin.to_string(),
+            scale: scale.to_string(),
+            ..Self::default()
+        }
+    }
+
+    /// The canonical artifact file name: `BENCH_<bin>_<scale>.json`.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}_{}.json", self.bin, self.scale)
+    }
+
+    /// Renders the full schema-versioned document.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(BENCH_SCHEMA.into())),
+            ("bin".into(), Json::Str(self.bin.clone())),
+            ("scale".into(), Json::Str(self.scale.clone())),
+            ("events".into(), Json::from_u64(self.events)),
+            ("detections".into(), Json::from_u64(self.detections)),
+            ("elapsed_ns".into(), Json::from_u64(self.elapsed_ns)),
+            ("events_per_sec".into(), Json::Num(self.events_per_sec)),
+            ("latency".into(), self.latency.to_json()),
+            (
+                "memory".into(),
+                Json::Obj(vec![
+                    (
+                        "high_water_bytes".into(),
+                        Json::from_u64(self.memory_high_water_bytes),
+                    ),
+                    ("retained_edges".into(), Json::from_u64(self.retained_edges)),
+                ]),
+            ),
+            (
+                "shards".into(),
+                Json::Arr(self.shards.iter().map(ShardStat::to_json).collect()),
+            ),
+            ("extra".into(), Json::Obj(self.extra.clone())),
+        ])
+    }
+
+    /// Renders the pretty-printed artifact body.
+    pub fn render(&self) -> String {
+        self.to_json().render_pretty()
+    }
+}
+
+/// Validates a parsed document against the `bench-report/v1` schema. Returns every
+/// problem found (empty means valid). Checks presence *and* finiteness of required
+/// numeric fields — a non-finite value renders as `null` and fails here.
+pub fn validate(doc: &Json) -> Vec<String> {
+    fn require_str(problems: &mut Vec<String>, path: &str, value: Option<&Json>) {
+        match value.map(Json::as_str) {
+            Some(Some(_)) => {}
+            Some(None) => problems.push(format!("{path}: not a string")),
+            None => problems.push(format!("{path}: missing")),
+        }
+    }
+    fn require_num(problems: &mut Vec<String>, path: &str, value: Option<&Json>) {
+        match value {
+            Some(v) => {
+                if v.as_f64().is_none() {
+                    problems.push(format!("{path}: not a finite number"));
+                }
+            }
+            None => problems.push(format!("{path}: missing")),
+        }
+    }
+
+    let mut problems = Vec::new();
+    require_str(&mut problems, "schema", doc.get("schema"));
+    require_str(&mut problems, "bin", doc.get("bin"));
+    require_str(&mut problems, "scale", doc.get("scale"));
+    if let Some(schema) = doc.get("schema").and_then(Json::as_str) {
+        if schema != BENCH_SCHEMA {
+            problems.push(format!("schema: expected {BENCH_SCHEMA:?}, got {schema:?}"));
+        }
+    }
+
+    require_num(&mut problems, "events", doc.get("events"));
+    require_num(&mut problems, "detections", doc.get("detections"));
+    require_num(&mut problems, "elapsed_ns", doc.get("elapsed_ns"));
+    require_num(&mut problems, "events_per_sec", doc.get("events_per_sec"));
+    for field in ["p50", "p95", "p99", "mean", "max"] {
+        require_num(
+            &mut problems,
+            &format!("latency.{field}"),
+            doc.get("latency").and_then(|l| l.get(field)),
+        );
+    }
+    require_num(
+        &mut problems,
+        "memory.high_water_bytes",
+        doc.get("memory").and_then(|m| m.get("high_water_bytes")),
+    );
+    require_num(
+        &mut problems,
+        "memory.retained_edges",
+        doc.get("memory").and_then(|m| m.get("retained_edges")),
+    );
+
+    match doc.get("shards").map(Json::as_arr) {
+        Some(Some(shards)) => {
+            if shards.is_empty() {
+                problems.push("shards: empty (at least one entry required)".into());
+            }
+            for (i, shard) in shards.iter().enumerate() {
+                for field in ["shard", "events", "detections", "queries", "load"] {
+                    require_num(
+                        &mut problems,
+                        &format!("shards[{i}].{field}"),
+                        shard.get(field),
+                    );
+                }
+            }
+        }
+        Some(None) => problems.push("shards: not an array".into()),
+        None => problems.push("shards: missing".into()),
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        BenchReport {
+            events: 12800,
+            detections: 42,
+            elapsed_ns: 104_857_600,
+            events_per_sec: 122_070.3,
+            latency: LatencySummary {
+                p50_ns: 1023,
+                p95_ns: 4095,
+                p99_ns: 8191,
+                mean_ns: 1500.2,
+                max_ns: 9000,
+            },
+            memory_high_water_bytes: 1 << 20,
+            retained_edges: 2048,
+            shards: vec![ShardStat {
+                shard: 0,
+                events: 12800,
+                detections: 42,
+                queries: 8,
+                load: 512,
+            }],
+            extra: vec![("note".into(), Json::Str("primary config".into()))],
+            ..BenchReport::new("stream_throughput", "tiny")
+        }
+    }
+
+    #[test]
+    fn a_complete_report_validates_and_round_trips() {
+        let report = sample();
+        assert_eq!(report.file_name(), "BENCH_stream_throughput_tiny.json");
+        let rendered = report.render();
+        let parsed = Json::parse(&rendered).expect("artifact parses");
+        assert_eq!(validate(&parsed), Vec::<String>::new());
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some(BENCH_SCHEMA)
+        );
+    }
+
+    #[test]
+    fn validation_catches_missing_and_non_finite_fields() {
+        let mut report = sample();
+        report.events_per_sec = f64::NAN; // renders as null
+        let parsed = Json::parse(&report.render()).unwrap();
+        let problems = validate(&parsed);
+        assert!(
+            problems.iter().any(|p| p.contains("events_per_sec")),
+            "NaN throughput must fail validation, got {problems:?}"
+        );
+
+        let empty = Json::parse("{}").unwrap();
+        let problems = validate(&empty);
+        assert!(problems.iter().any(|p| p.starts_with("schema")));
+        assert!(problems.iter().any(|p| p.starts_with("latency.p99")));
+        assert!(problems.iter().any(|p| p.starts_with("shards")));
+    }
+
+    #[test]
+    fn validation_rejects_wrong_schema_version_and_empty_shards() {
+        let mut report = sample();
+        report.shards.clear();
+        let mut parsed = Json::parse(&report.render()).unwrap();
+        if let Json::Obj(fields) = &mut parsed {
+            for (k, v) in fields.iter_mut() {
+                if k == "schema" {
+                    *v = Json::Str("bench-report/v0".into());
+                }
+            }
+        }
+        let problems = validate(&parsed);
+        assert!(problems.iter().any(|p| p.contains("expected")));
+        assert!(problems.iter().any(|p| p.contains("shards: empty")));
+    }
+
+    #[test]
+    fn latency_summary_comes_from_a_histogram() {
+        let histogram = crate::metrics::Histogram::new();
+        for v in [100u64, 200, 400, 800] {
+            histogram.record(v);
+        }
+        let summary = LatencySummary::from_histogram(&histogram.snapshot());
+        assert_eq!(summary.max_ns, 800);
+        assert!(summary.p50_ns >= 200);
+        assert!((summary.mean_ns - 375.0).abs() < 1e-9);
+    }
+}

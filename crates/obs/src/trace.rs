@@ -1,0 +1,359 @@
+//! Callback-based structured tracing for lifecycle events.
+//!
+//! Metrics answer "how much / how fast"; traces answer "what happened, in order".
+//! The engine reports discrete lifecycle transitions — a query registered on a
+//! shard, a rebalance, a batch aborting mid-way, a retention sweep evicting edges —
+//! as typed [`TraceEvent`]s pushed into a [`TraceSink`]. Sinks are deliberately
+//! dumb callbacks: the engine never formats, buffers, or filters; a sink decides
+//! what to do (collect for a test, print to stderr, drop everything).
+//!
+//! Sinks must be `Send + Sync` because the sharded detector emits from scoped
+//! worker threads. Event emission sites pay one `Option` check when no sink is
+//! attached; attaching a sink must never change engine behavior (the parity test
+//! in `crates/stream` holds the whole stack to that).
+
+use crate::json::Json;
+use std::sync::{Arc, Mutex};
+
+/// A structured lifecycle event emitted by the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A query was registered (hot-swap installs emit this for the new query).
+    QueryRegistered {
+        /// Query name.
+        query: String,
+        /// Shard the query landed on (0 for a single detector).
+        shard: usize,
+    },
+    /// A query was deregistered (hot-swap retirements emit this for the old query).
+    QueryDeregistered {
+        /// Query name.
+        query: String,
+        /// Shard the query was removed from.
+        shard: usize,
+    },
+    /// The sharded detector recomputed query placements.
+    ShardRebalance {
+        /// Number of shards after the rebalance.
+        shards: usize,
+        /// Queries moved to a different shard than before.
+        moved: usize,
+        /// Per-shard estimated load after the rebalance.
+        loads: Vec<u64>,
+    },
+    /// A batch aborted mid-way on a malformed event.
+    BatchError {
+        /// Index of the offending event within the batch.
+        index: usize,
+        /// Detections already emitted before the abort.
+        emitted: usize,
+        /// Error description.
+        message: String,
+    },
+    /// A retention sweep dropped edges that aged out of the sliding window.
+    RetentionEviction {
+        /// Edges evicted by this sweep.
+        evicted: usize,
+        /// Edges still retained after the sweep.
+        retained: usize,
+        /// The new retention watermark (oldest retained timestamp).
+        watermark: u64,
+    },
+    /// A discovery-pipeline stage finished.
+    PipelineStage {
+        /// Stage name: `ingest`, `mine`, `compile`, `register`, or `evaluate`.
+        stage: String,
+        /// Behavior class the stage ran for, when applicable.
+        class: Option<String>,
+        /// Wall-clock duration in nanoseconds.
+        duration_ns: u64,
+    },
+    /// The miner finished one pattern-growth level.
+    MiningLevel {
+        /// Growth level (pattern edge count).
+        level: usize,
+        /// Candidate patterns processed at this level.
+        candidates: u64,
+        /// Candidates eliminated by pruning at this level.
+        pruned: u64,
+        /// Embeddings materialized at this level.
+        embeddings: u64,
+    },
+    /// The miner hit its candidate-frontier budget and aborted the search.
+    FrontierBudgetExhausted {
+        /// Growth level at which the budget tripped.
+        level: usize,
+        /// Candidates processed when the budget tripped.
+        candidates: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's stable name, as used in rendered output and documentation.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::QueryRegistered { .. } => "query_registered",
+            TraceEvent::QueryDeregistered { .. } => "query_deregistered",
+            TraceEvent::ShardRebalance { .. } => "shard_rebalance",
+            TraceEvent::BatchError { .. } => "batch_error",
+            TraceEvent::RetentionEviction { .. } => "retention_eviction",
+            TraceEvent::PipelineStage { .. } => "pipeline_stage",
+            TraceEvent::MiningLevel { .. } => "mining_level",
+            TraceEvent::FrontierBudgetExhausted { .. } => "frontier_budget_exhausted",
+        }
+    }
+
+    /// Renders as a JSON object with an `"event"` discriminator plus the payload
+    /// fields — the stable structured-log format.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![("event".to_string(), Json::Str(self.name().into()))];
+        match self {
+            TraceEvent::QueryRegistered { query, shard }
+            | TraceEvent::QueryDeregistered { query, shard } => {
+                fields.push(("query".into(), Json::Str(query.clone())));
+                fields.push(("shard".into(), Json::from_u64(*shard as u64)));
+            }
+            TraceEvent::ShardRebalance {
+                shards,
+                moved,
+                loads,
+            } => {
+                fields.push(("shards".into(), Json::from_u64(*shards as u64)));
+                fields.push(("moved".into(), Json::from_u64(*moved as u64)));
+                fields.push((
+                    "loads".into(),
+                    Json::Arr(loads.iter().map(|&l| Json::from_u64(l)).collect()),
+                ));
+            }
+            TraceEvent::BatchError {
+                index,
+                emitted,
+                message,
+            } => {
+                fields.push(("index".into(), Json::from_u64(*index as u64)));
+                fields.push(("emitted".into(), Json::from_u64(*emitted as u64)));
+                fields.push(("message".into(), Json::Str(message.clone())));
+            }
+            TraceEvent::RetentionEviction {
+                evicted,
+                retained,
+                watermark,
+            } => {
+                fields.push(("evicted".into(), Json::from_u64(*evicted as u64)));
+                fields.push(("retained".into(), Json::from_u64(*retained as u64)));
+                fields.push(("watermark".into(), Json::from_u64(*watermark)));
+            }
+            TraceEvent::PipelineStage {
+                stage,
+                class,
+                duration_ns,
+            } => {
+                fields.push(("stage".into(), Json::Str(stage.clone())));
+                match class {
+                    Some(class) => fields.push(("class".into(), Json::Str(class.clone()))),
+                    None => fields.push(("class".into(), Json::Null)),
+                }
+                fields.push(("duration_ns".into(), Json::from_u64(*duration_ns)));
+            }
+            TraceEvent::MiningLevel {
+                level,
+                candidates,
+                pruned,
+                embeddings,
+            } => {
+                fields.push(("level".into(), Json::from_u64(*level as u64)));
+                fields.push(("candidates".into(), Json::from_u64(*candidates)));
+                fields.push(("pruned".into(), Json::from_u64(*pruned)));
+                fields.push(("embeddings".into(), Json::from_u64(*embeddings)));
+            }
+            TraceEvent::FrontierBudgetExhausted {
+                level,
+                candidates,
+                budget,
+            } => {
+                fields.push(("level".into(), Json::from_u64(*level as u64)));
+                fields.push(("candidates".into(), Json::from_u64(*candidates)));
+                fields.push(("budget".into(), Json::from_u64(*budget)));
+            }
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// A receiver of [`TraceEvent`]s. Implementations must be cheap and non-blocking —
+/// emission sites sit on engine paths.
+pub trait TraceSink: Send + Sync {
+    /// Called once per event, in emission order (per emitting thread).
+    fn event(&self, event: &TraceEvent);
+}
+
+/// A shared, thread-safe handle to a sink, cloneable across shard workers.
+///
+/// A newtype (not a bare `Arc<dyn TraceSink>`) so engine structs holding one can
+/// keep deriving `Debug`.
+#[derive(Clone)]
+pub struct SharedSink(Arc<dyn TraceSink>);
+
+impl SharedSink {
+    /// Wraps a sink for sharing.
+    pub fn new(sink: impl TraceSink + 'static) -> Self {
+        Self(Arc::new(sink))
+    }
+
+    /// Shares an already-`Arc`ed sink (e.g. a [`CollectingSink`] the caller keeps a
+    /// reading handle to).
+    pub fn from_arc(sink: Arc<dyn TraceSink>) -> Self {
+        Self(sink)
+    }
+
+    /// Forwards one event to the sink.
+    pub fn emit(&self, event: &TraceEvent) {
+        self.0.event(event);
+    }
+}
+
+impl std::fmt::Debug for SharedSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SharedSink(..)")
+    }
+}
+
+impl<T: TraceSink + 'static> From<Arc<T>> for SharedSink {
+    fn from(sink: Arc<T>) -> Self {
+        Self(sink)
+    }
+}
+
+/// A sink that drops every event. Useful as an explicit "tracing off" value.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn event(&self, _event: &TraceEvent) {}
+}
+
+/// A sink that stores every event in memory — the test workhorse.
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl CollectingSink {
+    /// An empty collecting sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of all events collected so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events
+            .lock()
+            .expect("collecting sink poisoned")
+            .clone()
+    }
+
+    /// Removes and returns all collected events.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().expect("collecting sink poisoned"))
+    }
+
+    /// Number of events collected so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("collecting sink poisoned").len()
+    }
+
+    /// Whether no event has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for CollectingSink {
+    fn event(&self, event: &TraceEvent) {
+        self.events
+            .lock()
+            .expect("collecting sink poisoned")
+            .push(event.clone());
+    }
+}
+
+/// A sink that writes each event as one JSON line to stderr.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StderrSink;
+
+impl TraceSink for StderrSink {
+    fn event(&self, event: &TraceEvent) {
+        eprintln!("{}", event.to_json().render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collecting_sink_preserves_order_and_payloads() {
+        let sink = CollectingSink::new();
+        sink.event(&TraceEvent::QueryRegistered {
+            query: "q0".into(),
+            shard: 1,
+        });
+        sink.event(&TraceEvent::RetentionEviction {
+            evicted: 3,
+            retained: 40,
+            watermark: 99,
+        });
+        assert_eq!(sink.len(), 2);
+        let events = sink.drain();
+        assert!(sink.is_empty());
+        assert_eq!(
+            events[0],
+            TraceEvent::QueryRegistered {
+                query: "q0".into(),
+                shard: 1
+            }
+        );
+        assert_eq!(events[1].name(), "retention_eviction");
+    }
+
+    #[test]
+    fn events_render_as_discriminated_json() {
+        let event = TraceEvent::BatchError {
+            index: 7,
+            emitted: 2,
+            message: "bad label".into(),
+        };
+        let json = event.to_json();
+        assert_eq!(
+            json.get("event").and_then(Json::as_str),
+            Some("batch_error")
+        );
+        assert_eq!(json.get("index").and_then(Json::as_u64), Some(7));
+        assert_eq!(
+            json.get("message").and_then(Json::as_str),
+            Some("bad label")
+        );
+        // Round-trips through the parser (stderr lines are machine-readable).
+        assert_eq!(Json::parse(&json.render()).unwrap(), json);
+    }
+
+    #[test]
+    fn shared_sink_works_across_threads() {
+        let sink: Arc<CollectingSink> = Arc::new(CollectingSink::new());
+        let shared = SharedSink::from(sink.clone());
+        std::thread::scope(|scope| {
+            for shard in 0..4 {
+                let shared = shared.clone();
+                scope.spawn(move || {
+                    shared.emit(&TraceEvent::QueryRegistered {
+                        query: format!("q{shard}"),
+                        shard,
+                    });
+                });
+            }
+        });
+        assert_eq!(sink.len(), 4);
+    }
+}

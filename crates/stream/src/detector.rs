@@ -28,12 +28,20 @@
 //! queries by giving each shard its own table and its own `Detector`.
 
 use crate::error::{BatchError, DeregisterError, RegisterError};
+use crate::instrument::DetectorInstruments;
 use crate::registry::QueryTable;
+use obs::{SharedSink, TraceEvent};
 use query::matcher::{
     complete_static_anchored, seed_matches, static_window_bounds, window_deadline, NodeSetRun,
     RunStep, TemporalRun, TemporalSpawn,
 };
+use std::time::Instant;
 use tgraph::{GraphError, IncrementalGraph, StreamEvent, TemporalEdge};
+
+/// Rough per-state footprint of a temporal partial-match run, bytes: the state's
+/// node map (a small `Vec<usize>`), its timestamps, and its share of the run's
+/// allocation overhead. An estimate for capacity planning, not an allocator audit.
+const RUN_STATE_BYTES: usize = 64;
 
 // The compiled-query types live in the `query` crate (the compiler side of the
 // miner→compiler→registry dataflow); the detector executes exactly those. Re-exported
@@ -102,6 +110,15 @@ pub struct Detector {
     nodeset_runs: Vec<(QueryId, NodeSetRun)>,
     pending_static: Vec<PendingStatic>,
     dropped_branches: u64,
+    /// Attached metric handles, if any. Attaching them never changes detections —
+    /// the uninstrumented hot path pays exactly one `Option` branch per batch.
+    instruments: Option<DetectorInstruments>,
+    /// Attached lifecycle-event sink, if any (same inertness contract).
+    sink: Option<SharedSink>,
+    /// Eviction count already reported to the sink (delta tracking).
+    traced_evictions: u64,
+    /// Rolling event index for latency sampling (instrumented batches only).
+    sample_tick: u64,
 }
 
 impl Default for Detector {
@@ -111,6 +128,10 @@ impl Default for Detector {
 }
 
 impl Detector {
+    /// Sampling interval for per-event latency in instrumented batches: one event
+    /// in this many is timed. Must be a power of two (used as a mask).
+    const LATENCY_SAMPLE: u64 = 16;
+
     /// An empty detector with no registered queries.
     pub fn new() -> Self {
         // The detector keys its own lookups on first-edge label pairs, so the
@@ -133,7 +154,47 @@ impl Detector {
             nodeset_runs: Vec::new(),
             pending_static: Vec::new(),
             dropped_branches: 0,
+            instruments: None,
+            sink: None,
+            traced_evictions: 0,
+            sample_tick: 0,
         }
+    }
+
+    /// Attaches (or with `None` detaches) metric handles. Instrumentation is inert:
+    /// detections are identical with and without it.
+    pub fn set_instruments(&mut self, instruments: Option<DetectorInstruments>) {
+        self.instruments = instruments;
+    }
+
+    /// Attaches (or with `None` detaches) a lifecycle-event sink. The detector emits
+    /// [`TraceEvent::QueryRegistered`] / [`TraceEvent::QueryDeregistered`] (shard 0),
+    /// [`TraceEvent::BatchError`] on mid-batch aborts, and
+    /// [`TraceEvent::RetentionEviction`] when the sliding window drops edges.
+    pub fn set_trace_sink(&mut self, sink: Option<SharedSink>) {
+        self.sink = sink;
+        self.traced_evictions = self.graph.evicted_count();
+    }
+
+    /// Estimated memory footprint of the detector's mutable state, bytes: the
+    /// buffered edge window, label table, live runs (weighted by their state
+    /// count), and pending anchors. A capacity-planning estimate (documented
+    /// constants, not allocator measurements); its high-water mark is what the
+    /// benchmark reports record.
+    pub fn memory_estimate_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let edges = self.graph.live_edge_count() * size_of::<TemporalEdge>();
+        let labels = std::mem::size_of_val(self.graph.labels());
+        let temporal_states: usize = self
+            .temporal_runs
+            .iter()
+            .map(|(_, run)| run.state_count())
+            .sum();
+        let temporal = self.temporal_runs.len() * size_of::<(QueryId, TemporalRun)>()
+            + temporal_states * RUN_STATE_BYTES;
+        let nodesets = self.nodeset_runs.len() * (size_of::<(QueryId, NodeSetRun)>() + 64);
+        let pending = self.pending_static.len() * size_of::<PendingStatic>();
+        edges + labels + temporal + nodesets + pending
     }
 
     /// Registers a query matched within `window` timestamp units.
@@ -170,6 +231,12 @@ impl Detector {
         // empty), which is what makes temporal-only shards cheap.
         self.graph
             .set_retention(Some(self.queries.max_static_window().saturating_mul(2)));
+        if let Some(sink) = &self.sink {
+            sink.emit(&TraceEvent::QueryRegistered {
+                query: format!("q{id}"),
+                shard: 0,
+            });
+        }
         Ok(Registration { id, visible_from })
     }
 
@@ -194,6 +261,12 @@ impl Detector {
         self.pending_static.retain(|pending| pending.query != id);
         self.graph
             .set_retention(Some(self.queries.max_static_window().saturating_mul(2)));
+        if let Some(sink) = &self.sink {
+            sink.emit(&TraceEvent::QueryDeregistered {
+                query: format!("q{id}"),
+                shard: 0,
+            });
+        }
         Ok(())
     }
 
@@ -212,6 +285,26 @@ impl Detector {
     /// Errors (and leaves the detector unchanged) if the event's timestamp does not
     /// strictly increase or it relabels a known node.
     pub fn on_event(&mut self, event: StreamEvent) -> Result<Vec<Detection>, GraphError> {
+        if self.instruments.is_none() && self.sink.is_none() {
+            return self.process_event(event);
+        }
+        let start = Instant::now();
+        let result = self.process_event(event);
+        if let Ok(detections) = &result {
+            if let Some(instruments) = &self.instruments {
+                instruments.events_total.inc();
+                instruments.detections_total.add(detections.len() as u64);
+                instruments
+                    .event_latency_ns
+                    .record(start.elapsed().as_nanos() as u64);
+            }
+            self.observe_state();
+        }
+        result
+    }
+
+    /// The actual five-step execution — shared by the instrumented and plain paths.
+    fn process_event(&mut self, event: StreamEvent) -> Result<Vec<Detection>, GraphError> {
         // Reject a bad event *before* touching any state: resolving pending anchors
         // first and then failing would silently consume their detections.
         self.graph.validate(&event)?;
@@ -227,6 +320,37 @@ impl Detector {
         Ok(out)
     }
 
+    /// Updates occupancy/memory gauges and reports eviction deltas to the sink.
+    /// Called after instrumented events and batches only — never on the plain path.
+    fn observe_state(&mut self) {
+        if let Some(instruments) = &self.instruments {
+            instruments
+                .temporal_runs
+                .set(self.temporal_runs.len() as u64);
+            instruments.nodeset_runs.set(self.nodeset_runs.len() as u64);
+            instruments
+                .pending_static
+                .set(self.pending_static.len() as u64);
+            instruments
+                .retained_edges
+                .set(self.graph.live_edge_count() as u64);
+            instruments
+                .memory_bytes
+                .set(self.memory_estimate_bytes() as u64);
+        }
+        if let Some(sink) = &self.sink {
+            let evicted = self.graph.evicted_count();
+            if evicted > self.traced_evictions {
+                sink.emit(&TraceEvent::RetentionEviction {
+                    evicted: (evicted - self.traced_evictions) as usize,
+                    retained: self.graph.live_edge_count(),
+                    watermark: self.graph.visible_from(),
+                });
+                self.traced_evictions = evicted;
+            }
+        }
+    }
+
     /// Processes a batch of events, concatenating their detections.
     ///
     /// If an event mid-batch is invalid, the events before it have already been fully
@@ -235,20 +359,92 @@ impl Detector {
     /// stays in the state produced by the valid prefix, so the caller may repair or
     /// skip the offending event and keep streaming.
     pub fn on_batch(&mut self, events: &[StreamEvent]) -> Result<Vec<Detection>, BatchError> {
+        if self.instruments.is_none() && self.sink.is_none() {
+            // The plain path: one `Option` branch for the whole batch, then exactly
+            // the pre-instrumentation loop.
+            let mut out = Vec::new();
+            for (index, &event) in events.iter().enumerate() {
+                match self.process_event(event) {
+                    Ok(detections) => out.extend(detections),
+                    Err(error) => {
+                        return Err(BatchError {
+                            emitted: out,
+                            index,
+                            error,
+                        })
+                    }
+                }
+            }
+            return Ok(out);
+        }
+        self.instrumented_batch(events)
+    }
+
+    /// The instrumented batch loop. Per-event latency is *sampled* — one event in
+    /// [`Self::LATENCY_SAMPLE`] gets a clock-read pair and a histogram record; the
+    /// rest pay a counter increment and a mask test. A full per-event measurement
+    /// costs ~60ns against ~300ns of real work (>15% overhead); sampling keeps the
+    /// whole instrumented path under the benchmark's 5% budget while the latency
+    /// distribution stays statistically faithful. Event/detection *counts* stay
+    /// exact (tallied per batch), and gauges update once per batch.
+    fn instrumented_batch(&mut self, events: &[StreamEvent]) -> Result<Vec<Detection>, BatchError> {
         let mut out = Vec::new();
+        let batch_start = Instant::now();
+        let mut failure: Option<(usize, GraphError)> = None;
+        let mut processed = 0u64;
         for (index, &event) in events.iter().enumerate() {
-            match self.on_event(event) {
+            let sampled_start = match &self.instruments {
+                Some(_) if self.sample_tick & (Self::LATENCY_SAMPLE - 1) == 0 => {
+                    Some(Instant::now())
+                }
+                _ => None,
+            };
+            self.sample_tick = self.sample_tick.wrapping_add(1);
+            match self.process_event(event) {
                 Ok(detections) => out.extend(detections),
                 Err(error) => {
-                    return Err(BatchError {
-                        emitted: out,
-                        index,
-                        error,
-                    })
+                    failure = Some((index, error));
+                    break;
+                }
+            }
+            processed += 1;
+            if let Some(start) = sampled_start {
+                if let Some(instruments) = &self.instruments {
+                    instruments
+                        .event_latency_ns
+                        .record(start.elapsed().as_nanos() as u64);
                 }
             }
         }
-        Ok(out)
+        if let Some(instruments) = &self.instruments {
+            instruments.events_total.add(processed);
+            instruments.detections_total.add(out.len() as u64);
+            instruments.batches_total.inc();
+            instruments
+                .batch_latency_ns
+                .record(batch_start.elapsed().as_nanos() as u64);
+            if failure.is_some() {
+                instruments.batch_errors_total.inc();
+            }
+        }
+        self.observe_state();
+        match failure {
+            None => Ok(out),
+            Some((index, error)) => {
+                if let Some(sink) = &self.sink {
+                    sink.emit(&TraceEvent::BatchError {
+                        index,
+                        emitted: out.len(),
+                        message: error.to_string(),
+                    });
+                }
+                Err(BatchError {
+                    emitted: out,
+                    index,
+                    error,
+                })
+            }
+        }
     }
 
     /// Declares the stream finished: resolves every still-pending `Ntemp` anchor against

@@ -30,13 +30,16 @@
 
 use crate::detector::{CompiledQuery, QueryId, Registration};
 use crate::error::{BatchError, DeregisterError, RegisterError};
+use crate::instrument::PipelineInstruments;
 use crate::shard::{LabelPairStats, ShardedDetector};
+use obs::{MetricsRegistry, SharedSink, TraceEvent};
 use query::compile::compile_mined;
 use query::eval::{evaluate, merge_identified, AccuracyReport};
 use query::pipeline::QueryOptions;
 use query::search::Interval;
 use std::collections::HashMap;
 use std::fmt;
+use std::time::Instant;
 use syscall::{Behavior, LabeledStreamSource, LabeledTrace, StreamSource, TestData, TraceLabel};
 use tgminer::score::LogRatio;
 use tgminer::{mine, MinerConfig, MiningResult};
@@ -135,6 +138,13 @@ pub struct DiscoveryPipeline {
     /// Label-pair frequencies observed across *all* ingested traces — the telemetry
     /// that drives query→shard load balancing at deployment time.
     stats: LabelPairStats,
+    /// Per-stage metric handles, when instrumented (see [`PipelineInstruments`]).
+    instruments: Option<PipelineInstruments>,
+    /// Structured per-stage trace sink, when attached.
+    sink: Option<SharedSink>,
+    /// Candidate budget each per-class mining run aborts at (0 = unlimited); see
+    /// [`tgminer::MinerConfig::frontier_budget`].
+    frontier_budget: usize,
 }
 
 impl DiscoveryPipeline {
@@ -145,6 +155,42 @@ impl DiscoveryPipeline {
             classes: Vec::new(),
             background: Vec::new(),
             stats: LabelPairStats::new(),
+            instruments: None,
+            sink: None,
+            frontier_budget: 0,
+        }
+    }
+
+    /// Attaches per-stage metric instruments under the `pipeline.` prefix (and
+    /// `miner.*` for exported mining counters). Purely observational: mined
+    /// patterns, deployments, and scores are identical with or without it.
+    pub fn instrument(&mut self, registry: &MetricsRegistry) {
+        self.instruments = Some(PipelineInstruments::register(registry));
+    }
+
+    /// Attaches (or with `None`, detaches) a structured trace sink. The pipeline
+    /// emits one [`TraceEvent::PipelineStage`] per ingest/mine/compile/register/
+    /// evaluate stage, plus per-growth-level [`TraceEvent::MiningLevel`] telemetry
+    /// and [`TraceEvent::FrontierBudgetExhausted`] when a budgeted run aborts.
+    pub fn set_trace_sink(&mut self, sink: Option<SharedSink>) {
+        self.sink = sink;
+    }
+
+    /// Caps each per-class mining run at `budget` candidate patterns; an exhausted
+    /// run keeps its best-so-far patterns and flags
+    /// [`tgminer::MiningStats::budget_exhausted`]. `0` (the default) disables the cap.
+    pub fn set_frontier_budget(&mut self, budget: usize) {
+        self.frontier_budget = budget;
+    }
+
+    /// Emits a [`TraceEvent::PipelineStage`] if a sink is attached.
+    fn trace_stage(&self, stage: &str, class: Option<Behavior>, duration_ns: u64) {
+        if let Some(sink) = &self.sink {
+            sink.emit(&TraceEvent::PipelineStage {
+                stage: stage.to_string(),
+                class: class.map(|b| b.name().to_string()),
+                duration_ns,
+            });
         }
     }
 
@@ -154,6 +200,22 @@ impl DiscoveryPipeline {
     /// and a conflicting re-announcement rejects the trace (leaving the pipeline
     /// unchanged). Isolated nodes do not survive replay — a trace is its events.
     pub fn ingest(&mut self, trace: &LabeledTrace) -> Result<(), GraphError> {
+        if self.instruments.is_none() && self.sink.is_none() {
+            return self.ingest_inner(trace);
+        }
+        let started = Instant::now();
+        self.ingest_inner(trace)?;
+        let duration_ns = started.elapsed().as_nanos() as u64;
+        if let Some(instruments) = &self.instruments {
+            instruments.ingest_ns.record(duration_ns);
+            instruments.traces_ingested.add(1);
+        }
+        self.trace_stage("ingest", None, duration_ns);
+        Ok(())
+    }
+
+    /// The uninstrumented ingest body: [`DiscoveryPipeline::ingest`] semantics.
+    fn ingest_inner(&mut self, trace: &LabeledTrace) -> Result<(), GraphError> {
         let graph = graph_of_events(&trace.events)?;
         for event in &trace.events {
             self.stats.record(event.src_label, event.dst_label);
@@ -214,16 +276,52 @@ impl DiscoveryPipeline {
             max_edges: self.options.query_size,
             top_k: self.options.miner_top_k,
             cap_per_graph: self.options.cap_per_graph,
+            frontier_budget: self.frontier_budget,
             ..MinerConfig::default()
         };
-        mine(positives, &self.background, &LogRatio::default(), &config)
+        let started = Instant::now();
+        let result = mine(positives, &self.background, &LogRatio::default(), &config);
+        let duration_ns = started.elapsed().as_nanos() as u64;
+        if let Some(instruments) = &self.instruments {
+            instruments.mine_ns.record(duration_ns);
+            instruments.patterns_mined.add(result.patterns.len() as u64);
+            instruments.record_mining(&result.stats);
+        }
+        if let Some(sink) = &self.sink {
+            for level in &result.stats.levels {
+                sink.emit(&TraceEvent::MiningLevel {
+                    level: level.level,
+                    candidates: level.candidates,
+                    pruned: level.pruned,
+                    embeddings: level.embeddings,
+                });
+            }
+            if result.stats.budget_exhausted {
+                let deepest = result.stats.levels.last().map_or(0, |l| l.level);
+                sink.emit(&TraceEvent::FrontierBudgetExhausted {
+                    level: deepest,
+                    candidates: result.stats.patterns_processed,
+                    budget: self.frontier_budget as u64,
+                });
+            }
+        }
+        self.trace_stage("mine", Some(behavior), duration_ns);
+        result
     }
 
     /// Mines and compiles one class: the top `options.top_queries` patterns as
     /// executable queries, in the miner's stable export order. Every returned query
     /// registers without error (the miner→compiler→registry contract).
     pub fn compile_class(&self, behavior: Behavior) -> Vec<CompiledQuery> {
-        compile_mined(&self.mine_class(behavior), self.options.top_queries)
+        let mined = self.mine_class(behavior);
+        let started = Instant::now();
+        let compiled = compile_mined(&mined, self.options.top_queries);
+        let duration_ns = started.elapsed().as_nanos() as u64;
+        if let Some(instruments) = &self.instruments {
+            instruments.compile_ns.record(duration_ns);
+        }
+        self.trace_stage("compile", Some(behavior), duration_ns);
+        compiled
     }
 
     /// Mines one class and hot-registers its compiled queries on a running detector,
@@ -237,7 +335,14 @@ impl DiscoveryPipeline {
     ) -> Result<Vec<DeployedQuery>, RegisterError> {
         let mut deployed = Vec::new();
         for query in self.compile_class(behavior) {
+            let started = Instant::now();
             let registration = detector.register(query, window)?;
+            let duration_ns = started.elapsed().as_nanos() as u64;
+            if let Some(instruments) = &self.instruments {
+                instruments.register_ns.record(duration_ns);
+                instruments.queries_deployed.add(1);
+            }
+            self.trace_stage("register", Some(behavior), duration_ns);
             deployed.push(DeployedQuery {
                 behavior,
                 registration,
@@ -274,7 +379,13 @@ impl DiscoveryPipeline {
         }
         let mut detector = ShardedDetector::with_stats(shards, self.stats.clone());
         let deployed = self.deploy_all(&mut detector, test.max_duration)?;
+        let started = Instant::now();
         let classes = evaluate_deployed(&mut detector, &deployed, test, batch_size)?;
+        let duration_ns = started.elapsed().as_nanos() as u64;
+        if let Some(instruments) = &self.instruments {
+            instruments.evaluate_ns.record(duration_ns);
+        }
+        self.trace_stage("evaluate", None, duration_ns);
         Ok(DiscoveryReport { deployed, classes })
     }
 }

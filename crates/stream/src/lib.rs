@@ -49,6 +49,7 @@
 pub mod detector;
 pub mod discovery;
 pub mod error;
+pub mod instrument;
 pub mod registry;
 pub mod shard;
 
@@ -58,5 +59,6 @@ pub use discovery::{
     DiscoveryError, DiscoveryPipeline, DiscoveryReport,
 };
 pub use error::{BatchError, DeregisterError, RegisterError};
+pub use instrument::{DetectorInstruments, PipelineInstruments};
 pub use registry::{QueryTable, Registered};
 pub use shard::{LabelPairStats, ShardedDetector};

@@ -41,6 +41,8 @@
 
 use crate::detector::{CompiledQuery, Detection, Detector, QueryId, Registration, SeedKey};
 use crate::error::{BatchError, DeregisterError, RegisterError};
+use crate::instrument::DetectorInstruments;
+use obs::{MetricsRegistry, ShardStat, SharedSink, TraceEvent};
 use std::collections::HashMap;
 use tgraph::{EdgePostings, GraphError, IncrementalGraph, Label, StreamEvent, TemporalGraph};
 
@@ -138,6 +140,10 @@ struct Shard {
     detector: Detector,
     /// Shard-local `QueryId` → global `QueryId`.
     global_ids: Vec<QueryId>,
+    /// Events this shard has processed (always on — plain integers, no atomics).
+    events_processed: u64,
+    /// Detections this shard has emitted.
+    detections_emitted: u64,
 }
 
 impl Shard {
@@ -145,10 +151,14 @@ impl Shard {
     fn process(&mut self, events: &[StreamEvent]) -> Result<Vec<Detection>, BatchError> {
         match self.detector.on_batch(events) {
             Ok(mut out) => {
+                self.events_processed += events.len() as u64;
+                self.detections_emitted += out.len() as u64;
                 self.remap(&mut out);
                 Ok(out)
             }
             Err(mut err) => {
+                self.events_processed += err.index as u64;
+                self.detections_emitted += err.emitted.len() as u64;
                 self.remap(&mut err.emitted);
                 Err(err)
             }
@@ -188,6 +198,12 @@ pub struct ShardedDetector {
     /// (detected at construction): spawning workers that serialise on one CPU is pure
     /// overhead, so shards run inline there — same results, no threads.
     parallel: bool,
+    /// Pool-level trace sink: lifecycle events carry *global* query ids and real
+    /// shard indices, so the pool emits them itself rather than wiring sinks into
+    /// the per-shard detectors (which only know local ids and always say shard 0).
+    sink: Option<SharedSink>,
+    /// Per-shard `evicted_count` at the last trace emission, for eviction deltas.
+    last_evicted: Vec<u64>,
 }
 
 impl ShardedDetector {
@@ -215,12 +231,74 @@ impl ShardedDetector {
                 .map(|_| Shard {
                     detector: Detector::with_graph(template.fresh_like()),
                     global_ids: Vec::new(),
+                    events_processed: 0,
+                    detections_emitted: 0,
                 })
                 .collect(),
             loads: vec![0; shards],
             stats,
             placements: Vec::new(),
             parallel: std::thread::available_parallelism().map_or(1, |n| n.get()) > 1,
+            sink: None,
+            last_evicted: vec![0; shards],
+        }
+    }
+
+    /// Attaches per-shard metric instruments, one [`DetectorInstruments`] set per
+    /// shard under the prefix `detector.shard<i>.`. Purely observational: detections
+    /// are byte-identical with or without instruments attached.
+    pub fn instrument(&mut self, registry: &MetricsRegistry) {
+        for (idx, shard) in self.shards.iter_mut().enumerate() {
+            let prefix = format!("detector.shard{idx}.");
+            shard
+                .detector
+                .set_instruments(Some(DetectorInstruments::register(registry, &prefix)));
+        }
+    }
+
+    /// Attaches (or with `None`, detaches) a pool-level structured trace sink.
+    ///
+    /// The pool emits lifecycle events itself — registrations and deregistrations
+    /// with global query ids and real shard indices, shard-rebalance summaries,
+    /// merged batch errors, and per-shard retention evictions. The per-shard
+    /// detectors never get sinks of their own, so no event is reported twice.
+    pub fn set_trace_sink(&mut self, sink: Option<SharedSink>) {
+        for (idx, shard) in self.shards.iter().enumerate() {
+            self.last_evicted[idx] = shard.detector.graph().evicted_count();
+        }
+        self.sink = sink;
+    }
+
+    /// Per-shard load/occupancy breakdown in the shape the benchmark reports emit.
+    pub fn shard_stats(&self) -> Vec<ShardStat> {
+        let queries = self.queries_per_shard();
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(idx, shard)| ShardStat {
+                shard: idx,
+                events: shard.events_processed,
+                detections: shard.detections_emitted,
+                queries: queries[idx],
+                load: self.loads[idx],
+            })
+            .collect()
+    }
+
+    /// Emits per-shard [`TraceEvent::RetentionEviction`] deltas since the last check.
+    fn trace_evictions(&mut self) {
+        let Some(sink) = &self.sink else { return };
+        for (idx, shard) in self.shards.iter().enumerate() {
+            let graph = shard.detector.graph();
+            let evicted = graph.evicted_count();
+            if evicted > self.last_evicted[idx] {
+                sink.emit(&TraceEvent::RetentionEviction {
+                    evicted: (evicted - self.last_evicted[idx]) as usize,
+                    retained: graph.live_edge_count(),
+                    watermark: graph.visible_from(),
+                });
+                self.last_evicted[idx] = evicted;
+            }
         }
     }
 
@@ -302,6 +380,12 @@ impl ShardedDetector {
             active: true,
         });
         self.loads[shard_idx] += cost;
+        if let Some(sink) = &self.sink {
+            sink.emit(&TraceEvent::QueryRegistered {
+                query: format!("q{id}"),
+                shard: shard_idx,
+            });
+        }
         Ok(Registration {
             id,
             visible_from: local.visible_from,
@@ -324,6 +408,17 @@ impl ShardedDetector {
             .deregister(placement.local)?;
         self.placements[query].active = false;
         self.loads[placement.shard] -= placement.cost;
+        if let Some(sink) = &self.sink {
+            sink.emit(&TraceEvent::QueryDeregistered {
+                query: format!("q{query}"),
+                shard: placement.shard,
+            });
+            sink.emit(&TraceEvent::ShardRebalance {
+                shards: self.shards.len(),
+                moved: 0,
+                loads: self.loads.clone(),
+            });
+        }
         Ok(())
     }
 
@@ -393,13 +488,23 @@ impl ShardedDetector {
             }
         }
         Self::sort_global(&mut merged);
+        self.trace_evictions();
         match failure {
             None => Ok(merged),
-            Some((index, error)) => Err(BatchError {
-                emitted: merged,
-                index,
-                error,
-            }),
+            Some((index, error)) => {
+                if let Some(sink) = &self.sink {
+                    sink.emit(&TraceEvent::BatchError {
+                        index,
+                        emitted: merged.len(),
+                        message: error.to_string(),
+                    });
+                }
+                Err(BatchError {
+                    emitted: merged,
+                    index,
+                    error,
+                })
+            }
         }
     }
 
@@ -409,10 +514,12 @@ impl ShardedDetector {
         let mut merged = Vec::new();
         for shard in &mut self.shards {
             let mut out = shard.detector.flush();
+            shard.detections_emitted += out.len() as u64;
             shard.remap(&mut out);
             merged.extend(out);
         }
         Self::sort_global(&mut merged);
+        self.trace_evictions();
         merged
     }
 

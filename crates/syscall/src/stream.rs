@@ -39,6 +39,9 @@ pub struct StreamSource {
     events: Vec<StreamEvent>,
     batch_size: usize,
     cursor: usize,
+    /// Optional delivery counter (`source.events_delivered`), ticked as cursor-driven
+    /// batches are handed out. Purely observational.
+    delivered: Option<obs::Counter>,
 }
 
 impl StreamSource {
@@ -53,7 +56,15 @@ impl StreamSource {
             events: events_of_graph(graph),
             batch_size,
             cursor: 0,
+            delivered: None,
         }
+    }
+
+    /// Attaches (or with `None`, detaches) a counter ticked with every event
+    /// [`StreamSource::next_batch`] delivers. [`StreamSource::batches`] iterators are
+    /// independent of the cursor and do not tick it.
+    pub fn set_delivery_counter(&mut self, counter: Option<obs::Counter>) {
+        self.delivered = counter;
     }
 
     /// A stream replaying a generated test dataset's monitoring graph.
@@ -89,6 +100,9 @@ impl StreamSource {
         let start = self.cursor;
         let end = (start + self.batch_size).min(self.events.len());
         self.cursor = end;
+        if let Some(counter) = &self.delivered {
+            counter.add((end - start) as u64);
+        }
         Some(&self.events[start..end])
     }
 
@@ -276,6 +290,27 @@ mod tests {
     fn zero_batch_size_is_rejected() {
         let data = TestData::generate(&TestDataConfig::tiny(), LabelInterner::new());
         let _ = StreamSource::from_test_data(&data, 0);
+    }
+
+    #[test]
+    fn delivery_counter_ticks_per_delivered_event() {
+        let data = TestData::generate(&TestDataConfig::tiny(), LabelInterner::new());
+        let registry = obs::MetricsRegistry::new();
+        let mut source = StreamSource::from_test_data(&data, 61);
+        source.set_delivery_counter(Some(registry.counter("source.events_delivered")));
+        while source.next_batch().is_some() {}
+        assert_eq!(
+            registry.snapshot().counter("source.events_delivered"),
+            Some(source.len() as u64)
+        );
+        // Detached again, replay leaves the counter untouched.
+        source.set_delivery_counter(None);
+        source.reset();
+        while source.next_batch().is_some() {}
+        assert_eq!(
+            registry.snapshot().counter("source.events_delivered"),
+            Some(source.len() as u64)
+        );
     }
 
     #[test]

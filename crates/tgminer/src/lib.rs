@@ -66,4 +66,4 @@ pub use miner::{mine, MinedPattern, MinerConfig, MiningResult};
 pub use pruning::{ResidualTestAlgo, SubgraphTestAlgo};
 pub use ranking::InterestRanker;
 pub use score::{GTest, InfoGain, LogRatio, ScoreFunction};
-pub use stats::MiningStats;
+pub use stats::{LevelStats, MiningStats};

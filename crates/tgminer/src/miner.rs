@@ -45,6 +45,12 @@ pub struct MinerConfig {
     pub subgraph_test: SubgraphTestAlgo,
     /// Residual-set equivalence test implementation used by the pruning framework.
     pub residual_test: ResidualTestAlgo,
+    /// Abort the search after this many candidate patterns have been processed
+    /// (0 disables). A tripped budget sets [`MiningStats::budget_exhausted`] and
+    /// returns the best patterns found *so far* — a fast-fail containment for
+    /// pattern-space blowups, with the per-level frontier in
+    /// [`MiningStats::levels`] as the diagnostic.
+    pub frontier_budget: usize,
 }
 
 impl Default for MinerConfig {
@@ -59,6 +65,7 @@ impl Default for MinerConfig {
             use_supergraph_pruning: true,
             subgraph_test: SubgraphTestAlgo::Sequence,
             residual_test: ResidualTestAlgo::Signature,
+            frontier_budget: 0,
         }
     }
 }
@@ -312,8 +319,25 @@ impl Miner<'_> {
     /// Depth-first exploration of `pattern`'s branch. Returns the best score seen in the
     /// branch and whether the branch was truncated by the size cap.
     fn dfs(&mut self, pattern: &TemporalPattern, occ: &Occurrences) -> (f64, bool) {
+        // Frontier budget: once the candidate count trips it, the whole remaining
+        // search is abandoned (every ancestor sees `truncated`, so no aborted branch
+        // can ever be registered as a dominating pruning entry). The best patterns
+        // found before the trip are still returned.
+        if self.config.frontier_budget > 0
+            && self.stats.patterns_processed >= self.config.frontier_budget as u64
+        {
+            self.stats.budget_exhausted = true;
+            return (f64::NEG_INFINITY, true);
+        }
+        let embeddings = occ.total_embeddings();
         self.stats.patterns_processed += 1;
-        self.stats.embeddings_materialized += occ.total_embeddings();
+        self.stats.embeddings_materialized += embeddings;
+        let level = pattern.edge_count();
+        {
+            let row = self.stats.level_mut(level);
+            row.candidates += 1;
+            row.embeddings += embeddings;
+        }
 
         let pos_freq = occ.freq_pos(self.positives.len());
         let neg_freq = occ.freq_neg(self.negatives.len());
@@ -338,6 +362,7 @@ impl Miner<'_> {
             let bound = self.score.upper_bound(pos_freq);
             if bound < self.f_star() {
                 self.stats.upper_bound_prunes += 1;
+                self.stats.level_mut(level).pruned += 1;
                 if pruning_enabled {
                     let facts = self.gather_facts(pattern, occ);
                     // Every descendant scores at most `bound`, which is below the
@@ -369,6 +394,7 @@ impl Miner<'_> {
                     PruneReason::Subgraph => self.stats.subgraph_prunes += 1,
                     PruneReason::Supergraph => self.stats.supergraph_prunes += 1,
                 }
+                self.stats.level_mut(level).pruned += 1;
                 // The dominating entry proves this branch never reaches F*, which only
                 // grows, so registering it as dominated is sound.
                 self.registry
@@ -563,6 +589,61 @@ mod tests {
         );
         assert!(result.patterns.is_empty());
         assert_eq!(result.best_score(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn frontier_budget_aborts_early_with_the_level_diagnostic() {
+        let (positives, negatives) = datasets();
+        let unbounded = mine(
+            &positives,
+            &negatives,
+            &LogRatio::default(),
+            &MinerConfig::default(),
+        );
+        assert!(!unbounded.stats.budget_exhausted);
+        assert!(unbounded.stats.patterns_processed > 2);
+        // Per-level candidates must account for every processed pattern.
+        let by_level: u64 = unbounded.stats.levels.iter().map(|l| l.candidates).sum();
+        assert_eq!(by_level, unbounded.stats.patterns_processed);
+        assert!(unbounded.stats.levels.iter().any(|l| l.level == 1));
+
+        let config = MinerConfig {
+            frontier_budget: 2,
+            ..MinerConfig::default()
+        };
+        let budgeted = mine(&positives, &negatives, &LogRatio::default(), &config);
+        assert!(budgeted.stats.budget_exhausted, "budget must trip");
+        assert_eq!(
+            budgeted.stats.patterns_processed, 2,
+            "processing stops at the budget"
+        );
+        assert!(
+            !budgeted.patterns.is_empty(),
+            "patterns found before the trip are still returned"
+        );
+    }
+
+    #[test]
+    fn budgeted_and_unbudgeted_runs_agree_when_the_budget_is_loose() {
+        // A budget the search never reaches must not change the result.
+        let (positives, negatives) = datasets();
+        let unbounded = mine(
+            &positives,
+            &negatives,
+            &LogRatio::default(),
+            &MinerConfig::default(),
+        );
+        let loose = MinerConfig {
+            frontier_budget: usize::MAX,
+            ..MinerConfig::default()
+        };
+        let budgeted = mine(&positives, &negatives, &LogRatio::default(), &loose);
+        assert!(!budgeted.stats.budget_exhausted);
+        assert_eq!(budgeted.export_top(8), unbounded.export_top(8));
+        assert_eq!(
+            budgeted.stats.patterns_processed,
+            unbounded.stats.patterns_processed
+        );
     }
 
     #[test]

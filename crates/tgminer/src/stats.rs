@@ -7,6 +7,23 @@
 
 use std::time::Duration;
 
+/// Work performed at one pattern-growth level (patterns with `level` edges).
+///
+/// This is the candidate-frontier diagnostic: when a mining run blows up, the
+/// per-level candidate counts show exactly which growth level exploded and how
+/// hard — the telemetry the frontier-budget guard dumps on abort.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Pattern edge count this row describes.
+    pub level: usize,
+    /// Candidate patterns of this size popped from the DFS.
+    pub candidates: u64,
+    /// Candidates of this size whose branch was cut by any pruning condition.
+    pub pruned: u64,
+    /// Embeddings materialised for candidates of this size.
+    pub embeddings: u64,
+}
+
 /// Work counters accumulated across one mining run.
 #[derive(Debug, Default, Clone, PartialEq)]
 pub struct MiningStats {
@@ -28,11 +45,36 @@ pub struct MiningStats {
     pub supergraph_prunes: u64,
     /// Total number of embeddings materialised across all patterns.
     pub embeddings_materialized: u64,
+    /// Per-growth-level frontier breakdown, indexed sparsely by edge count (levels
+    /// that processed no candidate are absent).
+    pub levels: Vec<LevelStats>,
+    /// `true` when the run hit [`crate::MinerConfig::frontier_budget`] and aborted
+    /// the search early. The returned patterns are the best found *so far* — a
+    /// truncated result, not the configured search's optimum.
+    pub budget_exhausted: bool,
     /// Wall-clock time of the mining run.
     pub elapsed: Duration,
 }
 
 impl MiningStats {
+    /// The mutable per-level row for patterns with `level` edges, created on first
+    /// touch (rows stay sorted by level).
+    pub fn level_mut(&mut self, level: usize) -> &mut LevelStats {
+        let index = match self.levels.binary_search_by_key(&level, |l| l.level) {
+            Ok(index) => index,
+            Err(index) => {
+                self.levels.insert(
+                    index,
+                    LevelStats {
+                        level,
+                        ..LevelStats::default()
+                    },
+                );
+                index
+            }
+        };
+        &mut self.levels[index]
+    }
     /// Empirical probability that subgraph pruning triggered while processing a pattern
     /// (Table 3, first row).
     pub fn subgraph_prune_rate(&self) -> f64 {
@@ -62,6 +104,13 @@ impl MiningStats {
         self.subgraph_prunes += other.subgraph_prunes;
         self.supergraph_prunes += other.supergraph_prunes;
         self.embeddings_materialized += other.embeddings_materialized;
+        for level in &other.levels {
+            let row = self.level_mut(level.level);
+            row.candidates += level.candidates;
+            row.pruned += level.pruned;
+            row.embeddings += level.embeddings;
+        }
+        self.budget_exhausted |= other.budget_exhausted;
         self.elapsed += other.elapsed;
     }
 }
@@ -113,5 +162,47 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.patterns_processed, 8);
         assert_eq!(a.subgraph_tests, 9);
+    }
+
+    #[test]
+    fn level_rows_stay_sorted_and_merge_elementwise() {
+        let mut a = MiningStats::default();
+        a.level_mut(3).candidates = 10;
+        a.level_mut(1).candidates = 5;
+        a.level_mut(1).pruned = 2;
+        assert_eq!(
+            a.levels.iter().map(|l| l.level).collect::<Vec<_>>(),
+            vec![1, 3],
+            "rows are kept in level order regardless of touch order"
+        );
+        let mut b = MiningStats::default();
+        b.level_mut(1).candidates = 7;
+        b.level_mut(2).embeddings = 4;
+        b.budget_exhausted = true;
+        a.merge(&b);
+        assert_eq!(
+            a.levels,
+            vec![
+                LevelStats {
+                    level: 1,
+                    candidates: 12,
+                    pruned: 2,
+                    embeddings: 0
+                },
+                LevelStats {
+                    level: 2,
+                    candidates: 0,
+                    pruned: 0,
+                    embeddings: 4
+                },
+                LevelStats {
+                    level: 3,
+                    candidates: 10,
+                    pruned: 0,
+                    embeddings: 0
+                },
+            ]
+        );
+        assert!(a.budget_exhausted, "exhaustion is sticky across merges");
     }
 }

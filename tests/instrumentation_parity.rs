@@ -1,0 +1,211 @@
+//! Instrumentation inertness: attaching metrics and trace sinks to the streaming
+//! engine must not change a single detection.
+//!
+//! The contract (`stream::instrument` module docs) is that observability is purely
+//! observational: an instrumented [`ShardedDetector`] — per-shard metric bundles AND
+//! a pool-level trace sink attached — produces a byte-identical detection list to an
+//! uninstrumented one, at every shard count. This test proves it over the committed
+//! fixture corpus of `tests/e2e_mine_detect.rs`: mine the training corpus, deploy the
+//! compiled queries twice (bare and instrumented), replay the held-out stream through
+//! both, and compare the formatted detection lines.
+//!
+//! On the side, it pins the metrics the instrumented run must have recorded (event
+//! counts matching the stream, memory/occupancy high-water marks) and the lifecycle
+//! events the sink must have seen (one registration per deployed query, on the shard
+//! the pool reports).
+
+use behavior_query::obs::{CollectingSink, MetricsRegistry, SharedSink, TraceEvent};
+use behavior_query::query::QueryOptions;
+use behavior_query::stream::{Detection, DiscoveryPipeline, ShardedDetector};
+use behavior_query::syscall::{Behavior, LabeledTrace, TraceLabel};
+use behavior_query::tgraph::{Label, StreamEvent};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Match window, batch size: the values the golden e2e test deploys with.
+const WINDOW: u64 = 12;
+const BATCH: usize = 64;
+
+fn fixture(name: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {name} ({e}); run regenerate_fixtures"))
+}
+
+fn parse_event(line: &str) -> StreamEvent {
+    let fields: Vec<u64> = line
+        .split_whitespace()
+        .map(|f| f.parse().expect("fixture fields are integers"))
+        .collect();
+    assert_eq!(fields.len(), 5, "malformed fixture line {line:?}");
+    StreamEvent {
+        ts: fields[0],
+        src: fields[1] as usize,
+        dst: fields[2] as usize,
+        src_label: Label(fields[3] as u32),
+        dst_label: Label(fields[4] as u32),
+    }
+}
+
+fn training_corpus() -> Vec<LabeledTrace> {
+    let mut traces: Vec<LabeledTrace> = Vec::new();
+    for line in fixture("training.corpus").lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("trace ") {
+            let label = match name.trim() {
+                "class-a" => TraceLabel::Behavior(Behavior::GzipDecompress),
+                "class-b" => TraceLabel::Behavior(Behavior::SshdLogin),
+                "background" => TraceLabel::Background,
+                other => panic!("unknown corpus class {other:?}"),
+            };
+            traces.push(LabeledTrace {
+                label,
+                events: Vec::new(),
+            });
+        } else {
+            traces
+                .last_mut()
+                .expect("corpus events belong to a trace")
+                .events
+                .push(parse_event(line));
+        }
+    }
+    traces
+}
+
+fn held_out_stream() -> Vec<StreamEvent> {
+    fixture("stream.events")
+        .lines()
+        .map(str::trim)
+        .filter(|line| !line.is_empty() && !line.starts_with('#'))
+        .map(parse_event)
+        .collect()
+}
+
+fn trained_pipeline() -> DiscoveryPipeline {
+    let mut pipeline = DiscoveryPipeline::new(QueryOptions {
+        query_size: 3,
+        top_queries: 2,
+        miner_top_k: 8,
+        cap_per_graph: 32,
+    });
+    for trace in training_corpus() {
+        pipeline.ingest(&trace).expect("fixture traces are valid");
+    }
+    pipeline
+}
+
+/// Formats detections as stable comparison lines.
+fn lines_of(detections: &[Detection]) -> Vec<String> {
+    detections
+        .iter()
+        .map(|d| format!("{} {} {}", d.query, d.start_ts, d.end_ts))
+        .collect()
+}
+
+/// Runs the full replay; with `instrumented` the detector carries per-shard metric
+/// bundles and a pool-level collecting sink. Returns the detection lines plus the
+/// observability state for the side assertions.
+fn replay(
+    pipeline: &DiscoveryPipeline,
+    stream: &[StreamEvent],
+    shards: usize,
+    instrumented: bool,
+) -> (Vec<String>, MetricsRegistry, Arc<CollectingSink>, usize) {
+    let registry = MetricsRegistry::new();
+    let sink = Arc::new(CollectingSink::default());
+    let mut detector = ShardedDetector::with_stats(shards, pipeline.stats().clone());
+    if instrumented {
+        detector.instrument(&registry);
+        detector.set_trace_sink(Some(SharedSink::from_arc(sink.clone())));
+    }
+    let deployed = pipeline
+        .deploy_all(&mut detector, WINDOW)
+        .expect("mined fixture queries register cleanly");
+    let mut lines = Vec::new();
+    for batch in stream.chunks(BATCH) {
+        lines.extend(lines_of(
+            &detector.on_batch(batch).expect("fixture stream is valid"),
+        ));
+    }
+    lines.extend(lines_of(&detector.flush()));
+    (lines, registry, sink, deployed.len())
+}
+
+#[test]
+fn instrumented_detections_are_byte_identical_at_1_2_and_4_shards() {
+    let pipeline = trained_pipeline();
+    let stream = held_out_stream();
+    assert!(!stream.is_empty(), "fixture stream is non-empty");
+    for shards in [1usize, 2, 4] {
+        let (bare, ..) = replay(&pipeline, &stream, shards, false);
+        let (instrumented, registry, sink, deployed) = replay(&pipeline, &stream, shards, true);
+        assert!(
+            !bare.is_empty(),
+            "the fixture loop detects at {shards} shard(s)"
+        );
+        assert_eq!(
+            instrumented, bare,
+            "instrumentation changed detections at {shards} shard(s)"
+        );
+
+        // Side contract: the metrics recorded what actually flowed. Every shard sees
+        // every event (queries are partitioned, the stream is not).
+        let snapshot = registry.snapshot();
+        for shard in 0..shards {
+            assert_eq!(
+                snapshot.counter(&format!("detector.shard{shard}.events_total")),
+                Some(stream.len() as u64),
+                "shard {shard} event count at {shards} shard(s)"
+            );
+        }
+        let detections_total: u64 = (0..shards)
+            .map(|shard| {
+                snapshot
+                    .counter(&format!("detector.shard{shard}.detections_total"))
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(
+            detections_total,
+            bare.len() as u64,
+            "summed per-shard detections at {shards} shard(s)"
+        );
+        let memory_high_water: u64 = (0..shards)
+            .map(|shard| {
+                snapshot
+                    .gauge(&format!("detector.shard{shard}.memory_bytes"))
+                    .map_or(0, |(_, high_water)| high_water)
+            })
+            .sum();
+        assert!(
+            memory_high_water > 0,
+            "a replay that buffered state has a memory high-water mark"
+        );
+
+        // And the sink saw one registration per deployed query, each on the shard the
+        // pool's placement reports.
+        let events = sink.drain();
+        let registered: Vec<(String, usize)> = events
+            .iter()
+            .filter_map(|event| match event {
+                TraceEvent::QueryRegistered { query, shard } => Some((query.clone(), *shard)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            registered.len(),
+            deployed,
+            "one registration event per deployed query at {shards} shard(s)"
+        );
+        assert!(
+            registered.iter().all(|(_, shard)| *shard < shards),
+            "registration events name real shards"
+        );
+    }
+}
