@@ -16,14 +16,20 @@
 //! `BENCH_stream_throughput_<scale>.json` (schema `bench-report/v1`; the committed
 //! artifact is the tiny-scale run) with the full sweep under `extra.sweep`.
 //!
+//! A second sweep covers the *tenant* axis: the test graph is replicated across N
+//! tenants, round-robin interleaved (cross-tenant timestamp collisions by
+//! construction), and demuxed through a [`TenantPool`] sweeping tenant counts ×
+//! tenant-group counts. Per-tenant-group breakdowns land under `extra.tenant_sweep`;
+//! the `bench-report/v1` schema is unchanged.
+//!
 //! `BQ_SCALE` selects the dataset size, `BQ_BENCH_DIR` the artifact directory.
 
 use bench::{print_header, print_row, secs, test_data, training_data, write_bench_report, Scale};
-use obs::{BenchReport, Json, LatencySummary, MetricsRegistry, ShardStat};
+use obs::{BenchReport, Json, LatencySummary, MetricsRegistry, ShardStat, TenantGroupStat};
 use query::{formulate_queries, QueryOptions};
 use std::time::{Duration, Instant};
-use stream::{CompiledQuery, LabelPairStats, ShardedDetector};
-use syscall::{Behavior, StreamSource};
+use stream::{CompiledQuery, LabelPairStats, ShardedDetector, TenantPool};
+use syscall::{Behavior, StreamSource, TenantedStreamSource};
 
 /// One sweep configuration's measured result.
 struct RunResult {
@@ -108,6 +114,84 @@ fn run_config(
         latency,
         shard_stats: detector.shard_stats(),
     }
+}
+
+/// One tenant-axis configuration's measured result.
+struct TenantRunResult {
+    tenants: usize,
+    groups: usize,
+    events: u64,
+    elapsed: Duration,
+    detections: usize,
+    group_stats: Vec<TenantGroupStat>,
+}
+
+/// Replays the test graph replicated across `tenants` tenants (round-robin
+/// interleaved, so cross-tenant timestamp collisions are the norm) through a
+/// [`TenantPool`] with `groups` tenant-groups and 1 query shard per tenant.
+fn run_tenant_config(
+    test: &syscall::TestData,
+    stats: &LabelPairStats,
+    pool_queries: &[(String, CompiledQuery)],
+    window: u64,
+    queries: usize,
+    tenants: usize,
+    groups: usize,
+) -> TenantRunResult {
+    let registry = MetricsRegistry::new();
+    let mut pool = TenantPool::with_stats(groups, 1, stats.clone());
+    pool.instrument(&registry);
+    for i in 0..queries {
+        let (_, query) = &pool_queries[i % pool_queries.len()];
+        let cycle = (i / pool_queries.len()) as u64;
+        let w = (window / (cycle + 1)).max(1);
+        pool.register(query.clone(), w)
+            .expect("mined queries are valid");
+    }
+    let source = TenantedStreamSource::replicate_test_data(test, tenants, 16, 4096);
+    let events = source.len() as u64;
+    let mut detections = 0usize;
+    let start = Instant::now();
+    for batch in source.batches() {
+        detections += pool
+            .on_batch(batch)
+            .expect("replayed dataset streams are valid")
+            .len();
+    }
+    detections += pool.flush().len();
+    let elapsed = start.elapsed();
+    TenantRunResult {
+        tenants,
+        groups,
+        events,
+        elapsed,
+        detections,
+        group_stats: pool.group_stats(),
+    }
+}
+
+fn tenant_row_json(run: &TenantRunResult) -> Json {
+    let rate = run.events as f64 / run.elapsed.as_secs_f64();
+    Json::Obj(vec![
+        ("tenants".into(), Json::from_u64(run.tenants as u64)),
+        ("groups".into(), Json::from_u64(run.groups as u64)),
+        ("events".into(), Json::from_u64(run.events)),
+        (
+            "elapsed_ns".into(),
+            Json::from_u64(run.elapsed.as_nanos() as u64),
+        ),
+        ("events_per_sec".into(), Json::Num(rate)),
+        ("detections".into(), Json::from_u64(run.detections as u64)),
+        (
+            "group_stats".into(),
+            Json::Arr(
+                run.group_stats
+                    .iter()
+                    .map(TenantGroupStat::to_json)
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 fn sweep_row_json(events: u64, run: &RunResult) -> Json {
@@ -243,6 +327,56 @@ fn main() {
         }
     }
 
+    // The tenant axis: identical per-tenant workloads, swept over tenant count ×
+    // tenant-group count (1 query shard per tenant, mid-size query pool). tenants=1,
+    // groups=1 is the demux-overhead baseline against the shards=1 rows above.
+    let tenant_queries = query_counts[1];
+    println!("\ntenant demux sweep ({tenant_queries} queries, 1 shard/tenant):");
+    let tenant_widths = [8usize, 8, 10, 10, 12, 12, 24];
+    print_header(
+        &[
+            "tenants",
+            "groups",
+            "events",
+            "secs",
+            "events/sec",
+            "detections",
+            "group_events",
+        ],
+        &tenant_widths,
+    );
+    let tenant_axis = [(1usize, 1usize), (2, 1), (2, 2), (4, 2), (4, 4)];
+    let mut tenant_runs: Vec<TenantRunResult> = Vec::new();
+    for (tenants, groups) in tenant_axis {
+        let run = run_tenant_config(
+            &test,
+            &stats,
+            &pool,
+            window,
+            tenant_queries,
+            tenants,
+            groups,
+        );
+        let rate = run.events as f64 / run.elapsed.as_secs_f64();
+        print_row(
+            &[
+                run.tenants.to_string(),
+                run.groups.to_string(),
+                run.events.to_string(),
+                secs(run.elapsed),
+                format!("{rate:.0}"),
+                run.detections.to_string(),
+                run.group_stats
+                    .iter()
+                    .map(|g| g.events.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
+            ],
+            &tenant_widths,
+        );
+        tenant_runs.push(run);
+    }
+
     // The primary configuration — 1 shard, the largest query pool — re-run both ways
     // to price observability itself. A single run at tiny scale lasts ~1ms, where
     // clock granularity and background-load drift both masquerade as double-digit
@@ -313,6 +447,10 @@ fn main() {
                     .map(|run| sweep_row_json(events as u64, run))
                     .collect(),
             ),
+        ),
+        (
+            "tenant_sweep".into(),
+            Json::Arr(tenant_runs.iter().map(tenant_row_json).collect()),
         ),
     ];
     if let Err(error) = write_bench_report(&report) {

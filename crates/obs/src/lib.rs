@@ -37,5 +37,5 @@ pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricKind, MetricValue, MetricsRegistry,
     MetricsSnapshot,
 };
-pub use report::{BenchReport, LatencySummary, ShardStat};
+pub use report::{BenchReport, LatencySummary, ShardStat, TenantGroupStat};
 pub use trace::{CollectingSink, NullSink, SharedSink, StderrSink, TraceEvent, TraceSink};

@@ -105,6 +105,33 @@ impl ShardStat {
     }
 }
 
+/// One tenant-group's contribution to a multi-tenant run — the second sharding axis
+/// (queries × tenant-groups). Reported under `extra` in bench reports, not in the
+/// required `shards` field, so the `bench-report/v1` schema is unchanged.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TenantGroupStat {
+    /// Tenant-group index.
+    pub group: usize,
+    /// Tenants currently materialised in the group.
+    pub tenants: usize,
+    /// Events the group's detectors processed.
+    pub events: u64,
+    /// Detections the group's detectors emitted.
+    pub detections: u64,
+}
+
+impl TenantGroupStat {
+    /// The stat as a JSON object (for `extra.tenant_sweep` style bench breakdowns).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("group".into(), Json::from_u64(self.group as u64)),
+            ("tenants".into(), Json::from_u64(self.tenants as u64)),
+            ("events".into(), Json::from_u64(self.events)),
+            ("detections".into(), Json::from_u64(self.detections)),
+        ])
+    }
+}
+
 /// A benchmark run's machine-readable result. See the module docs for the schema.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct BenchReport {

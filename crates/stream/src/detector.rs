@@ -282,8 +282,9 @@ impl Detector {
 
     /// Processes one event; returns the detections it triggered.
     ///
-    /// Errors (and leaves the detector unchanged) if the event's timestamp does not
-    /// strictly increase or it relabels a known node.
+    /// Errors (and leaves the detector unchanged) if the event's timestamp decreases
+    /// (timestamps must be non-decreasing; equal timestamps are ordered by arrival)
+    /// or it relabels a known node.
     pub fn on_event(&mut self, event: StreamEvent) -> Result<Vec<Detection>, GraphError> {
         if self.instruments.is_none() && self.sink.is_none() {
             return self.process_event(event);
@@ -1143,8 +1144,11 @@ mod tests {
         let mut detector = Detector::new();
         must_register(&mut detector, CompiledQuery::Temporal(abc_pattern()), 5);
         detector.on_event(ev(10, 0, 1, 0, 1)).unwrap();
+        // Equal timestamps are legal (non-decreasing order, arrival tie-break) …
+        detector.on_event(ev(10, 1, 2, 1, 2)).unwrap();
+        // … but going backwards is not.
         assert!(matches!(
-            detector.on_event(ev(10, 1, 2, 1, 2)),
+            detector.on_event(ev(9, 2, 3, 2, 0)),
             Err(GraphError::NonMonotonicTimestamp { .. })
         ));
         assert!(matches!(

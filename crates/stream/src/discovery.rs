@@ -545,10 +545,10 @@ mod tests {
             pipeline.ingest(&conflict),
             Err(GraphError::LabelConflict { node: 4, .. })
         ));
-        // Timestamps must strictly increase within a trace.
+        // Timestamps must be non-decreasing within a trace (ties are legal).
         let stale = LabeledTrace {
             label: TraceLabel::Background,
-            events: vec![ev(3, 0, 1, 0, 1), ev(3, 1, 0, 1, 0)],
+            events: vec![ev(3, 0, 1, 0, 1), ev(2, 1, 0, 1, 0)],
         };
         assert!(matches!(
             pipeline.ingest(&stale),

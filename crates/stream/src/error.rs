@@ -1,8 +1,9 @@
 //! Typed errors for the streaming detection engine.
 
 use crate::detector::{Detection, QueryId};
+use crate::tenant::TenantDetection;
 use std::fmt;
-use tgraph::GraphError;
+use tgraph::{GraphError, TenantId};
 
 /// Why a query was rejected at registration time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,6 +90,50 @@ impl fmt::Display for BatchError {
 }
 
 impl std::error::Error for BatchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// A multi-tenant batch failed for at least one tenant.
+///
+/// Tenants are independent streams, so one tenant's invalid event does not abort the
+/// others: every healthy tenant processes its full sub-stream, and the failing tenant
+/// processes its valid prefix. `emitted` carries the merged detections of everything
+/// that *was* processed — they are real detections and must not be dropped. When
+/// several tenants fail in one batch, the reported `(index, tenant, error)` is the
+/// failure with the lowest global batch index; the other failing tenants also stopped
+/// at their own first invalid event.
+///
+/// The pool remains usable: fix or skip the offending events and keep streaming.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantBatchError {
+    /// Merged detections from all processed events (healthy tenants' full sub-streams
+    /// plus failing tenants' valid prefixes), in global
+    /// `(end_ts, tenant, start_ts, query)` order.
+    pub emitted: Vec<TenantDetection>,
+    /// Global index (within the submitted batch) of the first rejected event.
+    pub index: usize,
+    /// The tenant whose event was rejected.
+    pub tenant: TenantId,
+    /// Why that event was rejected.
+    pub error: GraphError,
+}
+
+impl fmt::Display for TenantBatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "batch event #{} (tenant {}) rejected ({}); {} detections from processed events carried",
+            self.index,
+            self.tenant,
+            self.error,
+            self.emitted.len()
+        )
+    }
+}
+
+impl std::error::Error for TenantBatchError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         Some(&self.error)
     }

@@ -31,6 +31,12 @@
 //! The gauges' high-water marks give the run's peaks (memory high-water,
 //! run-table occupancy peaks) for free.
 //!
+//! The multi-tenant pool adds group-level series — with group index `g`,
+//! `tenant.group<g>.events_total` / `tenant.group<g>.detections_total` (counters)
+//! and `tenant.group<g>.tenants` (gauge) — ticked by the pool itself, one set per
+//! tenant-group regardless of tenant churn (see
+//! [`TenantPool::instrument`](crate::TenantPool::instrument) for the table).
+//!
 //! With prefix `pipeline.` the [`DiscoveryPipeline`](crate::DiscoveryPipeline)
 //! stages record `pipeline.{ingest,mine,compile,register,evaluate}_ns` histograms
 //! plus `pipeline.traces_ingested` / `pipeline.patterns_mined` /

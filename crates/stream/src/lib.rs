@@ -16,6 +16,12 @@
 //!   detections merge back into global timestamp order;
 //! * [`QueryTable`] — the registered-query state (queries, windows, first-edge seed
 //!   indexes) a single engine owns; it is the unit the sharded engine partitions;
+//! * [`TenantPool`] — the *second* sharding axis: a demux front-end routing an
+//!   interleaved multi-tenant stream ([`tgraph::TenantedEvent`]) to per-tenant
+//!   detector instances grouped into hashed tenant-groups ([`TenantRouter`]). Every
+//!   tenant owns its own incremental graph, retention window, and `visible_from`,
+//!   while all tenants share one compiled query set; composed with query-sharding the
+//!   engine forms a 2-D grid, queries × tenant-groups;
 //! * [`DiscoveryPipeline`] — the mine→detect loop closed online: ingest labeled
 //!   training streams, mine discriminative patterns per behavior class with `tgminer`,
 //!   compile them through [`query::compile`], hot-register them on a running
@@ -45,6 +51,13 @@
 //! queries, never the stream. `tests/stream_parity.rs` at the workspace root checks it
 //! property-style on random graphs and on generated `syscall` datasets, sweeping batch
 //! sizes and shard counts.
+//!
+//! The multi-tenant layer adds the **tenant-parity law**: for every tenant T and every
+//! demux configuration (group count, shards per group, interleaving), the detections a
+//! [`TenantPool`] reports for T are identical to running T's events alone through a
+//! single [`Detector`] — per-tenant state is fully isolated, and the shared query set
+//! replays identically on every tenant. `tests/tenant_parity.rs` enforces it
+//! property-style over random interleavings.
 
 pub mod detector;
 pub mod discovery;
@@ -52,13 +65,15 @@ pub mod error;
 pub mod instrument;
 pub mod registry;
 pub mod shard;
+pub mod tenant;
 
 pub use detector::{CompiledQuery, Detection, Detector, QueryId, Registration, SeedKey};
 pub use discovery::{
     evaluate_deployed, macro_average, retire_deployed, ClassAccuracy, DeployedQuery,
     DiscoveryError, DiscoveryPipeline, DiscoveryReport,
 };
-pub use error::{BatchError, DeregisterError, RegisterError};
+pub use error::{BatchError, DeregisterError, RegisterError, TenantBatchError};
 pub use instrument::{DetectorInstruments, PipelineInstruments};
 pub use registry::{QueryTable, Registered};
 pub use shard::{LabelPairStats, ShardedDetector};
+pub use tenant::{TenantDetection, TenantPool, TenantRouter};

@@ -424,8 +424,9 @@ impl ShardedDetector {
 
     /// Processes one event; returns its detections in global timestamp order.
     ///
-    /// Errors (leaving every shard unchanged) if the event's timestamp does not
-    /// strictly increase or it relabels a known node. Prefer [`ShardedDetector::on_batch`]
+    /// Errors (leaving every shard unchanged) if the event's timestamp decreases
+    /// (non-decreasing order; arrival tie-break) or it relabels a known node.
+    /// Prefer [`ShardedDetector::on_batch`]
     /// for throughput — per-event fan-out pays the thread-scope cost per event.
     pub fn on_event(&mut self, event: StreamEvent) -> Result<Vec<Detection>, GraphError> {
         match self.on_batch(std::slice::from_ref(&event)) {
@@ -665,7 +666,7 @@ mod tests {
         let batch = [
             ev(1, 0, 1, 0, 1),
             ev(2, 0, 1, 0, 1),
-            ev(2, 0, 1, 0, 1), // invalid: repeated timestamp
+            ev(1, 0, 1, 0, 1), // invalid: timestamp goes backwards
         ];
         let err = pool.on_batch(&batch).unwrap_err();
         assert_eq!(err.index, 2);

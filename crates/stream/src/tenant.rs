@@ -1,0 +1,814 @@
+//! Multi-tenant stream demux: the second sharding axis.
+//!
+//! [`ShardedDetector`] scales the engine along the *query* axis — one totally ordered
+//! stream, queries partitioned over shards. A monitoring deployment's input is not one
+//! stream, though: it is many independent per-tenant streams (per process, per trace,
+//! per host) arriving interleaved on one wire, with **no global timestamp order**
+//! across tenants. This module adds the *tenant* axis:
+//!
+//! * [`TenantRouter`] — a deterministic hash from [`TenantId`] to one of G
+//!   tenant-groups, so group placement is reproducible across runs and machines;
+//! * [`TenantPool`] — the demux front-end: it routes each batch's events to per-tenant
+//!   detector instances (created lazily on a tenant's first event), each owning its own
+//!   [`tgraph::IncrementalGraph`], retention window, and `visible_from`, while all
+//!   tenants run the *same* compiled query set. Composed with query-sharding inside
+//!   each tenant's [`ShardedDetector`], the engine forms a 2-D grid:
+//!   queries × tenant-groups.
+//!
+//! ## Ordering contract
+//!
+//! Within one tenant, events must be non-decreasing in timestamp (ties keep arrival
+//! order) — the same contract a single [`Detector`](crate::Detector) enforces. Across
+//! tenants there is no contract at all: the pool demuxes by tenant id, so the global
+//! interleaving (merged, round-robin, adversarial) is irrelevant to results. Detections
+//! are merged into global `(end_ts, tenant, start_ts, query)` order — ascending
+//! completion time, tenant id as the deterministic tie-break.
+//!
+//! ## The tenant-parity law
+//!
+//! For every tenant T and every demux configuration (any group count, any shards per
+//! group, any interleaving of other tenants' events), the detections the pool reports
+//! for T are **identical** to running T's events alone through a single
+//! [`Detector`](crate::Detector) with the same registrations. This is the correctness
+//! anchor of the whole layer, enforced property-style by `tests/tenant_parity.rs` at
+//! the workspace root. It holds by construction: per-tenant state is fully isolated
+//! (own graph, own runs, own retention), and the shared query set is replicated via a
+//! registration journal that replays identically on every tenant.
+//!
+//! ## Registration semantics
+//!
+//! [`TenantPool::register`] validates once against a canonical [`QueryTable`] (so ids
+//! and typed errors are tenant-independent), appends the operation to a journal, and
+//! fans it out to every live tenant. A tenant created later replays the journal before
+//! seeing its first event, so it runs the exact same query set under the exact same
+//! ids — [`QueryTable`] ids are dense over registrations and never reused, which makes
+//! the replay deterministic. A mid-stream registration's `visible_from` is the maximum
+//! over live tenants (the most pessimistic look-back floor; `0` when no tenant exists
+//! yet).
+
+use crate::detector::{CompiledQuery, QueryId, Registration};
+use crate::error::{DeregisterError, RegisterError, TenantBatchError};
+use crate::registry::QueryTable;
+use crate::shard::{LabelPairStats, ShardedDetector, PARALLEL_BATCH_MIN};
+use obs::{Counter, Gauge, MetricsRegistry, TenantGroupStat};
+use tgraph::{GraphError, StreamEvent, TenantId, TenantedEvent};
+
+/// A detection attributed to the tenant whose stream produced it.
+///
+/// The global merge order is ascending `(end_ts, tenant, start_ts, query)`: detections
+/// complete in stream time first, with the tenant id as the deterministic tie-break
+/// (cross-tenant timestamp ties are routine, since tenants share no clock discipline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantDetection {
+    /// The tenant whose stream matched.
+    pub tenant: TenantId,
+    /// The query that matched (global id, identical across tenants).
+    pub query: QueryId,
+    /// Timestamp of the instance's first edge.
+    pub start_ts: u64,
+    /// Timestamp of the instance's last edge (when it was detected).
+    pub end_ts: u64,
+}
+
+/// Deterministic router from tenant ids to tenant-groups.
+///
+/// Uses a splitmix64 finalizer so placement is uniform even for sequential tenant ids,
+/// and identical across runs, machines, and group iterations — group assignment is part
+/// of the engine's reproducibility contract, not an implementation detail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantRouter {
+    groups: usize,
+}
+
+impl TenantRouter {
+    /// A router over `groups` tenant-groups.
+    ///
+    /// # Panics
+    /// Panics if `groups` is zero.
+    pub fn new(groups: usize) -> Self {
+        assert!(groups > 0, "a tenant router needs at least one group");
+        Self { groups }
+    }
+
+    /// Number of tenant-groups.
+    pub fn group_count(&self) -> usize {
+        self.groups
+    }
+
+    /// The group this tenant belongs to. Pure and deterministic: the same tenant maps
+    /// to the same group for the lifetime of the configuration.
+    pub fn group_of(&self, tenant: TenantId) -> usize {
+        (splitmix64(tenant.0) % self.groups as u64) as usize
+    }
+}
+
+/// The splitmix64 finalizer (public-domain constants): a strong 64-bit mix so that
+/// low-entropy tenant ids (0, 1, 2, …) still spread uniformly over groups.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One replayable registration-journal entry (see the module docs: tenants created
+/// lazily replay the journal so every tenant runs the identical query set).
+#[derive(Debug, Clone)]
+enum JournalOp {
+    Register(CompiledQuery, u64),
+    Deregister(QueryId),
+}
+
+/// Group-level metric handles (see [`TenantPool::instrument`] for the name table).
+#[derive(Debug, Clone)]
+struct GroupInstruments {
+    events_total: Counter,
+    detections_total: Counter,
+    tenants: Gauge,
+}
+
+/// One tenant's demuxed share of a batch: its events in arrival order plus each
+/// event's global index in the incoming batch (for error attribution).
+type TenantWorkload = (TenantId, Vec<StreamEvent>, Vec<usize>);
+
+/// What processing a group's workload yields: the group's detections (unsorted) and
+/// the lowest-global-index failure, if any tenant rejected an event.
+type GroupOutcome = (Vec<TenantDetection>, Option<(usize, TenantId, GraphError)>);
+
+/// One tenant-group: the tenants the router assigned here, each with its own
+/// query-sharded detector.
+#[derive(Debug)]
+struct Group {
+    /// Live tenants, sorted by tenant id (kept sorted so iteration order — and with it
+    /// every merge and stats report — is deterministic).
+    tenants: Vec<(TenantId, ShardedDetector)>,
+    /// Events this group's detectors processed.
+    events: u64,
+    /// Detections this group's detectors emitted.
+    detections: u64,
+    instruments: Option<GroupInstruments>,
+}
+
+impl Group {
+    fn new() -> Self {
+        Self {
+            tenants: Vec::new(),
+            events: 0,
+            detections: 0,
+            instruments: None,
+        }
+    }
+
+    fn detector_mut(&mut self, tenant: TenantId) -> &mut ShardedDetector {
+        let idx = self
+            .tenants
+            .binary_search_by_key(&tenant, |(t, _)| *t)
+            .expect("tenant materialised before processing");
+        &mut self.tenants[idx].1
+    }
+
+    /// Processes one group's share of a demuxed batch. Each workload entry is one
+    /// tenant's sub-stream plus the global batch indices its events came from.
+    /// Returns the group's detections (unsorted) and the lowest-global-index failure,
+    /// if any tenant rejected an event.
+    fn process(&mut self, workload: &[TenantWorkload]) -> GroupOutcome {
+        let mut detections = Vec::new();
+        let mut failure: Option<(usize, TenantId, GraphError)> = None;
+        for (tenant, events, indices) in workload {
+            let (out, local_failure) = match self.detector_mut(*tenant).on_batch(events) {
+                Ok(out) => {
+                    self.events += events.len() as u64;
+                    (out, None)
+                }
+                Err(err) => {
+                    self.events += err.index as u64;
+                    (err.emitted, Some((indices[err.index], err.error)))
+                }
+            };
+            self.detections += out.len() as u64;
+            detections.extend(out.into_iter().map(|d| TenantDetection {
+                tenant: *tenant,
+                query: d.query,
+                start_ts: d.start_ts,
+                end_ts: d.end_ts,
+            }));
+            if let Some((global_index, error)) = local_failure {
+                if failure
+                    .as_ref()
+                    .is_none_or(|(index, _, _)| global_index < *index)
+                {
+                    failure = Some((global_index, *tenant, error));
+                }
+            }
+        }
+        (detections, failure)
+    }
+}
+
+/// The multi-tenant demux front-end (see the module docs).
+///
+/// Construction fixes the grid shape: `groups` tenant-groups (tenants hashed onto them
+/// by [`TenantRouter`]) × `shards_per_group` query shards inside every tenant's
+/// [`ShardedDetector`]. Tenants themselves are created lazily, on first event.
+#[derive(Debug)]
+pub struct TenantPool {
+    router: TenantRouter,
+    shards_per_tenant: usize,
+    stats: LabelPairStats,
+    /// Canonical registered-query state: validates registrations, assigns the global
+    /// ids every tenant reports under, and answers query-set queries without touching
+    /// any tenant.
+    canonical: QueryTable,
+    /// Every registration/deregistration in order — replayed verbatim onto tenants
+    /// created after the fact.
+    journal: Vec<JournalOp>,
+    groups: Vec<Group>,
+    /// Mirrors `ShardedDetector`: group fan-out only pays for threads on multi-core
+    /// machines and large batches.
+    parallel: bool,
+}
+
+impl TenantPool {
+    /// A pool of `groups` tenant-groups whose tenants each shard queries
+    /// `shards_per_tenant` ways.
+    ///
+    /// # Panics
+    /// Panics if `groups` or `shards_per_tenant` is zero.
+    pub fn new(groups: usize, shards_per_tenant: usize) -> Self {
+        Self::with_stats(groups, shards_per_tenant, LabelPairStats::new())
+    }
+
+    /// Like [`TenantPool::new`], with label-pair statistics for query-shard balancing
+    /// inside every tenant (the same statistics are shared by all tenants, so shard
+    /// placement is identical across tenants).
+    pub fn with_stats(groups: usize, shards_per_tenant: usize, stats: LabelPairStats) -> Self {
+        assert!(
+            shards_per_tenant > 0,
+            "tenants need at least one query shard"
+        );
+        Self {
+            router: TenantRouter::new(groups),
+            shards_per_tenant,
+            stats,
+            canonical: QueryTable::new(),
+            journal: Vec::new(),
+            groups: (0..groups).map(|_| Group::new()).collect(),
+            parallel: std::thread::available_parallelism().map_or(1, |n| n.get()) > 1,
+        }
+    }
+
+    /// The router mapping tenants to groups.
+    pub fn router(&self) -> TenantRouter {
+        self.router
+    }
+
+    /// Number of tenant-groups.
+    pub fn group_count(&self) -> usize {
+        self.router.group_count()
+    }
+
+    /// Query shards inside each tenant's detector.
+    pub fn shards_per_tenant(&self) -> usize {
+        self.shards_per_tenant
+    }
+
+    /// Number of live tenants across all groups.
+    pub fn tenant_count(&self) -> usize {
+        self.groups.iter().map(|g| g.tenants.len()).sum()
+    }
+
+    /// The live tenants in group `group`, in ascending tenant-id order.
+    ///
+    /// # Panics
+    /// Panics if `group` is out of range.
+    pub fn tenants_in_group(&self, group: usize) -> Vec<TenantId> {
+        self.groups[group].tenants.iter().map(|(t, _)| *t).collect()
+    }
+
+    /// Number of live registered queries (shared by every tenant).
+    pub fn query_count(&self) -> usize {
+        self.canonical.len()
+    }
+
+    /// Whether `query` is currently registered.
+    pub fn is_registered(&self, query: QueryId) -> bool {
+        self.canonical.contains(query)
+    }
+
+    /// Attaches group-level metrics. With group index `g`, the pool ticks:
+    ///
+    /// | name                               | kind    | meaning                        |
+    /// |------------------------------------|---------|--------------------------------|
+    /// | `tenant.group<g>.events_total`     | counter | events processed by the group  |
+    /// | `tenant.group<g>.detections_total` | counter | detections emitted by the group|
+    /// | `tenant.group<g>.tenants`          | gauge   | live tenants in the group      |
+    ///
+    /// The pool ticks these itself (not per tenant): tenants inside a group share the
+    /// group's handles, so tenant churn never leaks stale gauge series. Attaching is
+    /// inert — detections are identical with and without instruments.
+    pub fn instrument(&mut self, registry: &MetricsRegistry) {
+        for (idx, group) in self.groups.iter_mut().enumerate() {
+            let instruments = GroupInstruments {
+                events_total: registry.counter(&format!("tenant.group{idx}.events_total")),
+                detections_total: registry.counter(&format!("tenant.group{idx}.detections_total")),
+                tenants: registry.gauge(&format!("tenant.group{idx}.tenants")),
+            };
+            // Late attachment: bring the counters up to the group's lifetime totals so
+            // snapshots agree with `group_stats()` regardless of attachment time.
+            instruments.events_total.add(group.events);
+            instruments.detections_total.add(group.detections);
+            instruments.tenants.set(group.tenants.len() as u64);
+            group.instruments = Some(instruments);
+        }
+    }
+
+    /// Per-group breakdown in the shape the benchmark reports embed under `extra`.
+    pub fn group_stats(&self) -> Vec<TenantGroupStat> {
+        self.groups
+            .iter()
+            .enumerate()
+            .map(|(idx, group)| TenantGroupStat {
+                group: idx,
+                tenants: group.tenants.len(),
+                events: group.events,
+                detections: group.detections,
+            })
+            .collect()
+    }
+
+    /// Registers a query on every tenant (current and future), matched within `window`
+    /// timestamp units.
+    ///
+    /// Validation and id assignment happen once, on the canonical table; the operation
+    /// is journaled and fanned out, so every tenant — including tenants that do not
+    /// exist yet — runs the query under the same global id. The returned
+    /// `visible_from` is the maximum over live tenants' look-back floors (the
+    /// pessimistic bound: at least one tenant can see no further back), or `0` when no
+    /// tenant has materialised yet.
+    pub fn register(
+        &mut self,
+        query: CompiledQuery,
+        window: u64,
+    ) -> Result<Registration, RegisterError> {
+        let id = self.canonical.register(query.clone(), window)?;
+        self.journal
+            .push(JournalOp::Register(query.clone(), window));
+        let mut visible_from = 0;
+        for group in &mut self.groups {
+            for (_, detector) in &mut group.tenants {
+                let registration = detector
+                    .register(query.clone(), window)
+                    .expect("canonical table accepted the query");
+                debug_assert_eq!(registration.id, id, "journal replay desynchronised ids");
+                visible_from = visible_from.max(registration.visible_from);
+            }
+        }
+        Ok(Registration { id, visible_from })
+    }
+
+    /// Deregisters a query on every tenant (current and future): same contract as
+    /// [`ShardedDetector::deregister`], applied per tenant — each tenant drops its own
+    /// in-flight partial matches for the query, everything else is untouched. Ids are
+    /// never reused; a stale or repeated id fails with a typed error and changes
+    /// nothing.
+    pub fn deregister(&mut self, query: QueryId) -> Result<(), DeregisterError> {
+        self.canonical.remove(query)?;
+        self.journal.push(JournalOp::Deregister(query));
+        for group in &mut self.groups {
+            for (_, detector) in &mut group.tenants {
+                detector
+                    .deregister(query)
+                    .expect("canonical table knew the query");
+            }
+        }
+        Ok(())
+    }
+
+    /// Materialises a tenant if this is its first appearance: a fresh
+    /// [`ShardedDetector`] (own graphs, own retention) brought up to date by replaying
+    /// the registration journal.
+    fn ensure_tenant(&mut self, tenant: TenantId) {
+        let group_idx = self.router.group_of(tenant);
+        let group = &mut self.groups[group_idx];
+        let Err(insert_at) = group.tenants.binary_search_by_key(&tenant, |(t, _)| *t) else {
+            return;
+        };
+        let mut detector = ShardedDetector::with_stats(self.shards_per_tenant, self.stats.clone());
+        for op in &self.journal {
+            match op {
+                JournalOp::Register(query, window) => {
+                    detector
+                        .register(query.clone(), *window)
+                        .expect("journaled registration was validated");
+                }
+                JournalOp::Deregister(id) => {
+                    detector
+                        .deregister(*id)
+                        .expect("journaled deregistration was validated");
+                }
+            }
+        }
+        group.tenants.insert(insert_at, (tenant, detector));
+        if let Some(instruments) = &group.instruments {
+            instruments.tenants.set(group.tenants.len() as u64);
+        }
+    }
+
+    /// Demuxes an interleaved batch to its tenants and processes every tenant's
+    /// sub-stream; returns the merged detections in global
+    /// `(end_ts, tenant, start_ts, query)` order.
+    ///
+    /// Per-tenant event order is the batch's arrival order — the pool never reorders,
+    /// so each tenant sees exactly the sub-stream its producer emitted. Unknown
+    /// tenants are created on the fly (journal replay, see the module docs).
+    ///
+    /// On failure the returned [`TenantBatchError`] carries the merged detections of
+    /// everything processed: tenants are independent, so healthy tenants complete
+    /// their full sub-streams and only failing tenants stop (at their own first
+    /// invalid event). The error reports the lowest-global-index rejection.
+    pub fn on_batch(
+        &mut self,
+        events: &[TenantedEvent],
+    ) -> Result<Vec<TenantDetection>, TenantBatchError> {
+        // Demux into per-group workloads, preserving arrival order per tenant and
+        // remembering each event's global batch index for error attribution.
+        let mut workloads: Vec<Vec<TenantWorkload>> =
+            (0..self.groups.len()).map(|_| Vec::new()).collect();
+        for (index, te) in events.iter().enumerate() {
+            self.ensure_tenant(te.tenant);
+            let workload = &mut workloads[self.router.group_of(te.tenant)];
+            let entry = match workload.iter_mut().find(|(t, _, _)| *t == te.tenant) {
+                Some(entry) => entry,
+                None => {
+                    workload.push((te.tenant, Vec::new(), Vec::new()));
+                    workload.last_mut().expect("just pushed")
+                }
+            };
+            entry.1.push(te.event);
+            entry.2.push(index);
+        }
+
+        let results: Vec<GroupOutcome> =
+            if !self.parallel || self.groups.len() == 1 || events.len() < PARALLEL_BATCH_MIN {
+                // One group, a single-core machine, or a batch too small to amortise
+                // thread spawn/join: run inline. Results are identical either way.
+                self.groups
+                    .iter_mut()
+                    .zip(&workloads)
+                    .map(|(group, workload)| group.process(workload))
+                    .collect()
+            } else {
+                std::thread::scope(|scope| {
+                    let workers: Vec<_> = self
+                        .groups
+                        .iter_mut()
+                        .zip(&workloads)
+                        .map(|(group, workload)| scope.spawn(move || group.process(workload)))
+                        .collect();
+                    workers
+                        .into_iter()
+                        .map(|worker| worker.join().expect("group worker panicked"))
+                        .collect()
+                })
+            };
+
+        let mut merged = Vec::new();
+        let mut failure: Option<(usize, TenantId, GraphError)> = None;
+        for (detections, group_failure) in results {
+            merged.extend(detections);
+            if let Some((index, tenant, error)) = group_failure {
+                if failure.as_ref().is_none_or(|(i, _, _)| index < *i) {
+                    failure = Some((index, tenant, error));
+                }
+            }
+        }
+        Self::sort_global(&mut merged);
+        self.tick_instruments();
+        match failure {
+            None => Ok(merged),
+            Some((index, tenant, error)) => Err(TenantBatchError {
+                emitted: merged,
+                index,
+                tenant,
+                error,
+            }),
+        }
+    }
+
+    /// Declares every tenant's stream finished; returns the trailing detections in
+    /// global `(end_ts, tenant, start_ts, query)` order.
+    pub fn flush(&mut self) -> Vec<TenantDetection> {
+        let mut merged = Vec::new();
+        for group in &mut self.groups {
+            for i in 0..group.tenants.len() {
+                let (tenant, detector) = &mut group.tenants[i];
+                let tenant = *tenant;
+                let out = detector.flush();
+                group.detections += out.len() as u64;
+                merged.extend(out.into_iter().map(|d| TenantDetection {
+                    tenant,
+                    query: d.query,
+                    start_ts: d.start_ts,
+                    end_ts: d.end_ts,
+                }));
+            }
+        }
+        Self::sort_global(&mut merged);
+        self.tick_instruments();
+        merged
+    }
+
+    /// Global merge order: ascending completion time, tenant id as the deterministic
+    /// tie-break (cross-tenant timestamp ties are routine).
+    fn sort_global(detections: &mut [TenantDetection]) {
+        detections.sort_unstable_by_key(|d| (d.end_ts, d.tenant, d.start_ts, d.query));
+    }
+
+    /// Brings attached group counters up to the groups' lifetime totals. Counters are
+    /// monotonic, so the pool tracks totals itself and adds only the delta.
+    fn tick_instruments(&mut self) {
+        for group in &mut self.groups {
+            let Some(instruments) = &group.instruments else {
+                continue;
+            };
+            let seen_events = instruments.events_total.get();
+            let seen_detections = instruments.detections_total.get();
+            instruments
+                .events_total
+                .add(group.events.saturating_sub(seen_events));
+            instruments
+                .detections_total
+                .add(group.detections.saturating_sub(seen_detections));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::Detector;
+    use tgraph::pattern::TemporalPattern;
+    use tgraph::Label;
+
+    fn l(i: u32) -> Label {
+        Label(i)
+    }
+
+    fn ev(ts: u64, src: usize, dst: usize, sl: u32, dl: u32) -> StreamEvent {
+        StreamEvent {
+            ts,
+            src,
+            dst,
+            src_label: l(sl),
+            dst_label: l(dl),
+        }
+    }
+
+    fn te(tenant: u64, event: StreamEvent) -> TenantedEvent {
+        TenantedEvent {
+            tenant: TenantId(tenant),
+            event,
+        }
+    }
+
+    fn edge_query() -> CompiledQuery {
+        CompiledQuery::Temporal(TemporalPattern::single_edge(l(0), l(1)))
+    }
+
+    fn ab_then_c() -> CompiledQuery {
+        CompiledQuery::Temporal(
+            TemporalPattern::single_edge(l(0), l(1))
+                .grow_forward(1, l(2))
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn router_is_deterministic_and_covers_all_groups() {
+        let router = TenantRouter::new(4);
+        for t in 0..64 {
+            let g = router.group_of(TenantId(t));
+            assert!(g < 4);
+            assert_eq!(g, router.group_of(TenantId(t)), "same tenant, same group");
+        }
+        // Sequential ids spread over every group (splitmix64 mixes low entropy).
+        let hit: std::collections::HashSet<usize> =
+            (0..64).map(|t| router.group_of(TenantId(t))).collect();
+        assert_eq!(hit.len(), 4, "64 sequential tenants cover all 4 groups");
+        // One group accepts everything.
+        assert_eq!(TenantRouter::new(1).group_of(TenantId(123)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one group")]
+    fn zero_groups_are_rejected() {
+        let _ = TenantRouter::new(0);
+    }
+
+    #[test]
+    fn tenants_are_isolated_and_detections_carry_their_tenant() {
+        let mut pool = TenantPool::new(2, 1);
+        let q = pool.register(edge_query(), 5).unwrap().id;
+        // Tenant 0's two events straddle tenant 1's: node ids collide across tenants
+        // but must not interact, and tenant 1's lower timestamp is legal mid-batch.
+        let batch = [
+            te(0, ev(10, 0, 1, 0, 1)),
+            te(1, ev(3, 0, 1, 0, 1)),
+            te(0, ev(11, 0, 1, 0, 1)),
+        ];
+        let out = pool.on_batch(&batch).unwrap();
+        assert_eq!(
+            out,
+            vec![
+                TenantDetection {
+                    tenant: TenantId(1),
+                    query: q,
+                    start_ts: 3,
+                    end_ts: 3
+                },
+                TenantDetection {
+                    tenant: TenantId(0),
+                    query: q,
+                    start_ts: 10,
+                    end_ts: 10
+                },
+                TenantDetection {
+                    tenant: TenantId(0),
+                    query: q,
+                    start_ts: 11,
+                    end_ts: 11
+                },
+            ]
+        );
+        assert_eq!(pool.tenant_count(), 2);
+    }
+
+    #[test]
+    fn merge_order_breaks_timestamp_ties_by_tenant() {
+        let mut pool = TenantPool::new(1, 1);
+        let q = pool.register(edge_query(), 5).unwrap().id;
+        // Both tenants complete an instance at ts 7; tenant id orders the tie.
+        let batch = [te(5, ev(7, 0, 1, 0, 1)), te(2, ev(7, 0, 1, 0, 1))];
+        let out = pool.on_batch(&batch).unwrap();
+        let key: Vec<(u64, u64)> = out.iter().map(|d| (d.end_ts, d.tenant.0)).collect();
+        assert_eq!(key, vec![(7, 2), (7, 5)]);
+        assert_eq!(out[0].query, q);
+    }
+
+    #[test]
+    fn late_tenants_replay_the_registration_journal() {
+        let mut pool = TenantPool::new(2, 2);
+        let qa = pool.register(edge_query(), 5).unwrap().id;
+        let qb = pool.register(ab_then_c(), 5).unwrap().id;
+        // Tenant 0 materialises now; deregistering qa afterwards fans out to it.
+        let first = pool.on_batch(&[te(0, ev(1, 0, 1, 0, 1))]).unwrap();
+        assert_eq!(first.len(), 1);
+        pool.deregister(qa).unwrap();
+        // Tenant 7 materialises *after* the deregistration: journal replay must leave
+        // it with qb only, under the same global id.
+        let out = pool
+            .on_batch(&[
+                te(7, ev(1, 0, 1, 0, 1)),
+                te(7, ev(2, 1, 2, 1, 2)),
+                te(0, ev(2, 0, 1, 0, 1)),
+            ])
+            .unwrap();
+        assert_eq!(
+            out,
+            vec![TenantDetection {
+                tenant: TenantId(7),
+                query: qb,
+                start_ts: 1,
+                end_ts: 2
+            }],
+            "qa is gone on old and new tenants alike; qb matches under its global id"
+        );
+        assert_eq!(pool.query_count(), 1);
+        assert!(!pool.is_registered(qa));
+        assert!(pool.is_registered(qb));
+    }
+
+    #[test]
+    fn mid_stream_registration_reports_the_pessimistic_visible_from() {
+        let mut pool = TenantPool::new(1, 1);
+        // Before any tenant exists, a registration sees everything (vacuously).
+        assert_eq!(pool.register(edge_query(), 5).unwrap().visible_from, 0);
+        pool.on_batch(&[te(0, ev(10, 0, 1, 0, 1)), te(1, ev(4, 0, 1, 0, 1))])
+            .unwrap();
+        // Mid-stream: tenant 0 is at ts 10, tenant 1 at ts 4. The pool-wide floor is
+        // the worst (largest) per-tenant floor.
+        let reg = pool.register(ab_then_c(), 5).unwrap();
+        let mut single = Detector::new();
+        single.register(edge_query(), 5).unwrap();
+        single.on_event(ev(10, 0, 1, 0, 1)).unwrap();
+        let expected = single.register(ab_then_c(), 5).unwrap().visible_from;
+        assert_eq!(reg.visible_from, expected);
+    }
+
+    #[test]
+    fn failing_tenant_does_not_abort_healthy_tenants() {
+        let mut pool = TenantPool::new(2, 1);
+        let q = pool.register(edge_query(), 5).unwrap().id;
+        let batch = [
+            te(0, ev(5, 0, 1, 0, 1)),
+            te(1, ev(5, 0, 1, 0, 1)),
+            te(0, ev(4, 2, 3, 0, 1)), // tenant 0 goes backwards: rejected
+            te(1, ev(6, 0, 1, 0, 1)), // tenant 1 is healthy and completes
+        ];
+        let err = pool.on_batch(&batch).unwrap_err();
+        assert_eq!(err.index, 2, "global index of the rejection");
+        assert_eq!(err.tenant, TenantId(0));
+        assert!(matches!(
+            err.error,
+            GraphError::NonMonotonicTimestamp { .. }
+        ));
+        let key: Vec<(u64, u64)> = err.emitted.iter().map(|d| (d.tenant.0, d.end_ts)).collect();
+        assert_eq!(
+            key,
+            vec![(0, 5), (1, 5), (1, 6)],
+            "tenant 0's prefix and ALL of tenant 1 are carried"
+        );
+        // The pool stays usable; tenant 0 resumes from its last good timestamp.
+        let out = pool.on_batch(&[te(0, ev(6, 0, 1, 0, 1))]).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].query, q);
+    }
+
+    #[test]
+    fn flush_merges_trailing_detections_across_tenants() {
+        let mut pool = TenantPool::new(2, 2);
+        pool.register(
+            CompiledQuery::Static(tgminer::baselines::gspan::StaticPattern {
+                labels: vec![l(0), l(1)],
+                edges: vec![(0, 1)],
+            }),
+            5,
+        )
+        .unwrap();
+        // Static queries emit at window close; with no later event the instances are
+        // only reported by flush.
+        pool.on_batch(&[te(0, ev(1, 0, 1, 0, 1)), te(1, ev(2, 0, 1, 0, 1))])
+            .unwrap();
+        let out = pool.flush();
+        let tenants: Vec<u64> = out.iter().map(|d| d.tenant.0).collect();
+        assert_eq!(tenants, vec![0, 1]);
+        assert!(pool.flush().is_empty(), "flush drains");
+    }
+
+    #[test]
+    fn group_stats_and_instruments_track_processing() {
+        let mut pool = TenantPool::new(2, 1);
+        pool.register(edge_query(), 5).unwrap();
+        let registry = MetricsRegistry::new();
+        pool.instrument(&registry);
+        let batch: Vec<TenantedEvent> = (0..8).map(|t| te(t, ev(1, 0, 1, 0, 1))).collect();
+        let out = pool.on_batch(&batch).unwrap();
+        assert_eq!(out.len(), 8);
+        let stats = pool.group_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats.iter().map(|s| s.events).sum::<u64>(), 8);
+        assert_eq!(stats.iter().map(|s| s.detections).sum::<u64>(), 8);
+        assert_eq!(stats.iter().map(|s| s.tenants).sum::<usize>(), 8);
+        let snap = registry.snapshot();
+        for stat in &stats {
+            let g = stat.group;
+            assert_eq!(
+                snap.counter(&format!("tenant.group{g}.events_total")),
+                Some(stat.events)
+            );
+            assert_eq!(
+                snap.counter(&format!("tenant.group{g}.detections_total")),
+                Some(stat.detections)
+            );
+            assert_eq!(
+                snap.gauge(&format!("tenant.group{g}.tenants"))
+                    .map(|(v, _)| v),
+                Some(stat.tenants as u64)
+            );
+        }
+        // Instrumentation is inert: an uninstrumented pool gives identical detections.
+        let mut plain = TenantPool::new(2, 1);
+        plain.register(edge_query(), 5).unwrap();
+        assert_eq!(plain.on_batch(&batch).unwrap(), out);
+    }
+
+    #[test]
+    fn deregistering_unknown_ids_is_a_typed_error() {
+        let mut pool = TenantPool::new(1, 1);
+        assert!(matches!(
+            pool.deregister(9),
+            Err(DeregisterError::UnknownQuery { id: 9 })
+        ));
+        let q = pool.register(edge_query(), 5).unwrap().id;
+        pool.deregister(q).unwrap();
+        assert!(matches!(
+            pool.deregister(q),
+            Err(DeregisterError::UnknownQuery { .. })
+        ));
+        // Rejected registrations leave no journal residue on future tenants.
+        assert!(pool.register(edge_query(), 0).is_err());
+        pool.on_batch(&[te(0, ev(1, 0, 1, 0, 1))]).unwrap();
+        assert_eq!(pool.tenant_count(), 1);
+        assert_eq!(pool.query_count(), 0);
+    }
+}

@@ -30,5 +30,8 @@ pub use dataset::{BehaviorDataset, BehaviorStats, DatasetConfig, TrainingData};
 pub use entity::{Entity, EntityKind};
 pub use event::{SyscallEvent, SyscallType};
 pub use log::SyscallLog;
-pub use stream::{events_of_graph, LabeledStreamSource, LabeledTrace, StreamSource, TraceLabel};
+pub use stream::{
+    events_of_graph, LabeledStreamSource, LabeledTrace, StreamSource, TenantedStreamSource,
+    TraceLabel,
+};
 pub use testdata::{BehaviorInstance, TestData, TestDataConfig};

@@ -12,11 +12,17 @@
 //! one background window) delivered as events plus its class tag. This is the wire
 //! format the online discovery pipeline (`stream::discovery`) ingests: a monitoring
 //! deployment receives labeled example streams, not materialised graph objects.
+//!
+//! [`TenantedStreamSource`] is the multi-tenant front: it interleaves several
+//! independent per-tenant streams (tenant ids assigned here, from the owning
+//! trace/graph) into one batched feed of [`TenantedEvent`]s, preserving each tenant's
+//! order while making no promise about the global interleaving — the workload the
+//! `stream` crate's tenant demux layer is built to handle.
 
 use crate::behaviors::Behavior;
 use crate::dataset::TrainingData;
 use crate::testdata::TestData;
-use tgraph::{StreamEvent, TemporalGraph};
+use tgraph::{StreamEvent, TemporalGraph, TenantId, TenantedEvent};
 
 /// The events a materialised temporal graph would have produced, in timestamp order.
 pub fn events_of_graph(graph: &TemporalGraph) -> Vec<StreamEvent> {
@@ -42,6 +48,9 @@ pub struct StreamSource {
     /// Optional delivery counter (`source.events_delivered`), ticked as cursor-driven
     /// batches are handed out. Purely observational.
     delivered: Option<obs::Counter>,
+    /// Events delivered since construction or the last [`StreamSource::reset`] — the
+    /// per-replay count, unlike the cumulative obs counter.
+    delivered_run: u64,
 }
 
 impl StreamSource {
@@ -57,14 +66,30 @@ impl StreamSource {
             batch_size,
             cursor: 0,
             delivered: None,
+            delivered_run: 0,
         }
     }
 
     /// Attaches (or with `None`, detaches) a counter ticked with every event
     /// [`StreamSource::next_batch`] delivers. [`StreamSource::batches`] iterators are
     /// independent of the cursor and do not tick it.
+    ///
+    /// The counter is an [`obs::Counter`] and therefore monotonic by contract: it is
+    /// **cumulative across replays** and is deliberately *not* rewound by
+    /// [`StreamSource::reset`] — it answers "events delivered ever", the dashboard
+    /// total. A report that wants per-replay numbers (and would otherwise double-count
+    /// a reset-and-replayed source) must read
+    /// [`StreamSource::delivered_since_reset`] instead.
     pub fn set_delivery_counter(&mut self, counter: Option<obs::Counter>) {
         self.delivered = counter;
+    }
+
+    /// Events delivered by [`StreamSource::next_batch`] since construction or the last
+    /// [`StreamSource::reset`] — the per-replay delivery count. Unlike the attached
+    /// obs counter (cumulative, never rewound), this restarts at 0 on every reset, so
+    /// replayed runs report their own deliveries instead of double-counting.
+    pub fn delivered_since_reset(&self) -> u64 {
+        self.delivered_run
     }
 
     /// A stream replaying a generated test dataset's monitoring graph.
@@ -100,15 +125,23 @@ impl StreamSource {
         let start = self.cursor;
         let end = (start + self.batch_size).min(self.events.len());
         self.cursor = end;
+        self.delivered_run += (end - start) as u64;
         if let Some(counter) = &self.delivered {
             counter.add((end - start) as u64);
         }
         Some(&self.events[start..end])
     }
 
-    /// Rewinds the stream to the beginning (e.g. to replay it against another detector).
+    /// Rewinds the stream to the beginning (e.g. to replay it against another
+    /// detector) and restarts the per-replay delivery count
+    /// ([`StreamSource::delivered_since_reset`]).
+    ///
+    /// The attached obs delivery counter is **not** rewound: [`obs::Counter`] is
+    /// monotonic by contract, so it keeps accumulating across replays (see
+    /// [`StreamSource::set_delivery_counter`]).
     pub fn reset(&mut self) {
         self.cursor = 0;
+        self.delivered_run = 0;
     }
 
     /// An independent iterator over the whole stream's batches (the last one may be
@@ -118,6 +151,202 @@ impl StreamSource {
     /// parity check) without mutable-borrow or `reset` bookkeeping.
     pub fn batches(&self) -> std::slice::Chunks<'_, StreamEvent> {
         self.events.chunks(self.batch_size)
+    }
+}
+
+/// An interleaved multi-tenant event stream: several independent per-tenant streams
+/// ([`TenantId`] assigned by this adapter from the owning trace/graph) delivered as
+/// one batched sequence of [`TenantedEvent`]s.
+///
+/// ## Ordering contract
+///
+/// Within each tenant, events keep that tenant's order (timestamps non-decreasing).
+/// Across tenants there is **no** ordering guarantee: depending on the constructor the
+/// interleaving is time-merged ([`TenantedStreamSource::merged`] — globally
+/// non-decreasing, ties broken by tenant id) or scheduler-style round-robin
+/// ([`TenantedStreamSource::round_robin`] — global timestamps jump backwards whenever
+/// the rotation wraps). Consumers must demux by tenant and must not assume one global
+/// total order — that is exactly the contract the `stream` crate's tenant pool is
+/// built for.
+#[derive(Debug, Clone)]
+pub struct TenantedStreamSource {
+    events: Vec<TenantedEvent>,
+    batch_size: usize,
+    cursor: usize,
+    tenants: usize,
+}
+
+impl TenantedStreamSource {
+    fn new(events: Vec<TenantedEvent>, batch_size: usize, tenants: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Self {
+            events,
+            batch_size,
+            cursor: 0,
+            tenants,
+        }
+    }
+
+    /// A deterministic time-merged interleave of per-tenant streams: events are
+    /// delivered in ascending `(ts, tenant, per-tenant position)` order, so the global
+    /// stream is non-decreasing while every tenant's own order is preserved.
+    ///
+    /// # Panics
+    /// Panics if `batch_size` is zero.
+    pub fn merged(streams: Vec<(TenantId, Vec<StreamEvent>)>, batch_size: usize) -> Self {
+        let tenants = streams.len();
+        let mut cursors: Vec<(
+            TenantId,
+            std::vec::IntoIter<StreamEvent>,
+            Option<StreamEvent>,
+        )> = streams
+            .into_iter()
+            .map(|(tenant, events)| {
+                let mut iter = events.into_iter();
+                let head = iter.next();
+                (tenant, iter, head)
+            })
+            .collect();
+        // Stable tie-break: the lowest (ts, tenant) head goes next.
+        let mut merged = Vec::new();
+        loop {
+            let next = cursors
+                .iter()
+                .enumerate()
+                .filter_map(|(i, (tenant, _, head))| head.map(|e| (e.ts, *tenant, i)))
+                .min();
+            let Some((_, tenant, i)) = next else { break };
+            let (_, iter, head) = &mut cursors[i];
+            let event = head.take().expect("selected cursor has a head");
+            *head = iter.next();
+            merged.push(TenantedEvent { tenant, event });
+        }
+        Self::new(merged, batch_size, tenants)
+    }
+
+    /// A scheduler-style round-robin interleave: `chunk` events from each tenant in
+    /// rotation until all streams drain. When tenants' timestamp domains overlap, the
+    /// global timestamp sequence is *not* monotonic — the harsher (and more realistic)
+    /// demux workload.
+    ///
+    /// # Panics
+    /// Panics if `batch_size` or `chunk` is zero.
+    pub fn round_robin(
+        streams: Vec<(TenantId, Vec<StreamEvent>)>,
+        chunk: usize,
+        batch_size: usize,
+    ) -> Self {
+        assert!(chunk > 0, "round-robin chunk must be positive");
+        let tenants = streams.len();
+        let total: usize = streams.iter().map(|(_, e)| e.len()).sum();
+        let mut queues: Vec<(TenantId, std::collections::VecDeque<StreamEvent>)> = streams
+            .into_iter()
+            .map(|(tenant, events)| (tenant, events.into()))
+            .collect();
+        let mut interleaved = Vec::with_capacity(total);
+        while interleaved.len() < total {
+            for (tenant, queue) in &mut queues {
+                for _ in 0..chunk {
+                    let Some(event) = queue.pop_front() else {
+                        break;
+                    };
+                    interleaved.push(TenantedEvent {
+                        tenant: *tenant,
+                        event,
+                    });
+                }
+            }
+        }
+        Self::new(interleaved, batch_size, tenants)
+    }
+
+    /// The tenant-count scaling axis: `tenants` copies of a test dataset's monitoring
+    /// graph, one per tenant (ids `0..tenants`), round-robin interleaved in chunks of
+    /// `chunk`. Every tenant carries the identical workload, so throughput per tenant
+    /// is directly comparable across tenant counts — and since all copies share one
+    /// timestamp domain, the interleave is saturated with cross-tenant timestamp
+    /// collisions.
+    pub fn replicate_test_data(
+        data: &TestData,
+        tenants: usize,
+        chunk: usize,
+        batch_size: usize,
+    ) -> Self {
+        let events = events_of_graph(&data.graph);
+        let streams = (0..tenants)
+            .map(|t| (TenantId(t as u64), events.clone()))
+            .collect();
+        Self::round_robin(streams, chunk, batch_size)
+    }
+
+    /// A multi-tenant stream over labeled traces: each trace is its own tenant (the
+    /// owning trace index becomes the [`TenantId`]), time-merged into one interleaved
+    /// feed. This is how a monitoring deployment's per-process event streams arrive —
+    /// many concurrent executions, one wire.
+    pub fn from_traces(traces: &[LabeledTrace], batch_size: usize) -> Self {
+        let streams = traces
+            .iter()
+            .enumerate()
+            .map(|(i, trace)| (TenantId(i as u64), trace.events.clone()))
+            .collect();
+        Self::merged(streams, batch_size)
+    }
+
+    /// Number of tenants the source was built from (including event-less ones).
+    pub fn tenant_count(&self) -> usize {
+        self.tenants
+    }
+
+    /// The configured batch size.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Total number of events across all tenants.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the stream has no events at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events not yet delivered.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.cursor
+    }
+
+    /// Delivers the next batch (the last one may be short), or `None` at end of stream.
+    pub fn next_batch(&mut self) -> Option<&[TenantedEvent]> {
+        if self.cursor >= self.events.len() {
+            return None;
+        }
+        let start = self.cursor;
+        let end = (start + self.batch_size).min(self.events.len());
+        self.cursor = end;
+        Some(&self.events[start..end])
+    }
+
+    /// Rewinds the stream to the beginning.
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+    }
+
+    /// An independent iterator over the whole stream's batches, ignoring the cursor
+    /// (same contract as [`StreamSource::batches`]).
+    pub fn batches(&self) -> std::slice::Chunks<'_, TenantedEvent> {
+        self.events.chunks(self.batch_size)
+    }
+
+    /// One tenant's events, in that tenant's delivery order — the isolated
+    /// single-tenant stream the tenant-parity law compares against.
+    pub fn tenant_events(&self, tenant: TenantId) -> Vec<StreamEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.tenant == tenant)
+            .map(|e| e.event)
+            .collect()
     }
 }
 
@@ -311,6 +540,130 @@ mod tests {
             registry.snapshot().counter("source.events_delivered"),
             Some(source.len() as u64)
         );
+    }
+
+    #[test]
+    fn reset_keeps_obs_counter_cumulative_but_restarts_run_counter() {
+        // Satellite regression: `reset()` rewinds the cursor and the per-replay
+        // counter, but deliberately does NOT rewind the attached obs counter —
+        // `obs::Counter` is monotonic by contract, so replays keep accumulating.
+        let data = TestData::generate(&TestDataConfig::tiny(), LabelInterner::new());
+        let registry = obs::MetricsRegistry::new();
+        let mut source = StreamSource::from_test_data(&data, 61);
+        source.set_delivery_counter(Some(registry.counter("source.events_delivered")));
+        let len = source.len() as u64;
+
+        while source.next_batch().is_some() {}
+        assert_eq!(source.delivered_since_reset(), len);
+
+        source.reset();
+        assert_eq!(source.delivered_since_reset(), 0, "run counter restarts");
+        assert_eq!(
+            registry.snapshot().counter("source.events_delivered"),
+            Some(len),
+            "obs counter is not rewound by reset"
+        );
+
+        while source.next_batch().is_some() {}
+        assert_eq!(source.delivered_since_reset(), len);
+        assert_eq!(
+            registry.snapshot().counter("source.events_delivered"),
+            Some(2 * len),
+            "obs counter accumulates across replays"
+        );
+    }
+
+    #[test]
+    fn merged_tenant_stream_is_globally_ordered_and_preserves_tenant_order() {
+        let mk = |ts: &[u64]| -> Vec<StreamEvent> {
+            ts.iter()
+                .enumerate()
+                .map(|(i, &t)| StreamEvent {
+                    ts: t,
+                    src: 2 * i,
+                    dst: 2 * i + 1,
+                    src_label: tgraph::Label(1),
+                    dst_label: tgraph::Label(2),
+                })
+                .collect()
+        };
+        let streams = vec![
+            (TenantId(0), mk(&[1, 4, 4, 9])),
+            (TenantId(1), mk(&[2, 4, 5])),
+            (TenantId(2), mk(&[4])),
+        ];
+        let mut source = TenantedStreamSource::merged(streams.clone(), 3);
+        assert_eq!(source.tenant_count(), 3);
+        assert_eq!(source.len(), 8);
+        let mut delivered = Vec::new();
+        while let Some(batch) = source.next_batch() {
+            assert!(batch.len() <= 3);
+            delivered.extend_from_slice(batch);
+        }
+        // Globally non-decreasing, ties broken by tenant id.
+        let order: Vec<(u64, u64)> = delivered.iter().map(|e| (e.event.ts, e.tenant.0)).collect();
+        assert_eq!(
+            order,
+            vec![
+                (1, 0),
+                (2, 1),
+                (4, 0),
+                (4, 0),
+                (4, 1),
+                (4, 2),
+                (5, 1),
+                (9, 0)
+            ]
+        );
+        // Per-tenant order (the tenant-parity projection) matches each input stream.
+        for (tenant, events) in &streams {
+            assert_eq!(&source.tenant_events(*tenant), events);
+        }
+        assert_eq!(source.remaining(), 0);
+        source.reset();
+        assert_eq!(source.remaining(), source.len());
+    }
+
+    #[test]
+    fn round_robin_preserves_per_tenant_order_without_global_order() {
+        let data = TestData::generate(&TestDataConfig::tiny(), LabelInterner::new());
+        let source = TenantedStreamSource::replicate_test_data(&data, 3, 7, 64);
+        let events = events_of_graph(&data.graph);
+        assert_eq!(source.tenant_count(), 3);
+        assert_eq!(source.len(), 3 * events.len());
+        // Every tenant sees the identical workload, in its own order.
+        for t in 0..3 {
+            assert_eq!(source.tenant_events(TenantId(t)), events);
+        }
+        // Identical timestamp domains + rotation => the global sequence genuinely
+        // jumps backwards somewhere (the workload the demux layer exists for).
+        let global: Vec<u64> = source.batches().flatten().map(|e| e.event.ts).collect();
+        assert!(
+            global.windows(2).any(|w| w[1] < w[0]),
+            "expected a non-monotonic global interleave"
+        );
+        // `batches()` is cursor-independent and deterministic.
+        let again = TenantedStreamSource::replicate_test_data(&data, 3, 7, 64);
+        let a: Vec<TenantedEvent> = source.batches().flatten().copied().collect();
+        let b: Vec<TenantedEvent> = again.batches().flatten().copied().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn from_traces_assigns_tenants_by_trace_index() {
+        let config = DatasetConfig::tiny();
+        let training = TrainingData::generate(&config);
+        let labeled = LabeledStreamSource::from_training_data(&training);
+        let traces: Vec<LabeledTrace> = labeled.traces().iter().take(4).cloned().collect();
+        let source = TenantedStreamSource::from_traces(&traces, 32);
+        assert_eq!(source.tenant_count(), traces.len());
+        assert_eq!(
+            source.len(),
+            traces.iter().map(|t| t.events.len()).sum::<usize>()
+        );
+        for (i, trace) in traces.iter().enumerate() {
+            assert_eq!(source.tenant_events(TenantId(i as u64)), trace.events);
+        }
     }
 
     #[test]

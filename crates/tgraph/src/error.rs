@@ -12,7 +12,8 @@ pub enum GraphError {
         /// Number of nodes currently in the graph.
         node_count: usize,
     },
-    /// Edge timestamps must be strictly increasing (total edge order, Section 2).
+    /// Edge timestamps must be non-decreasing (the total edge order of Section 2;
+    /// ties are resolved deterministically by arrival/storage position).
     NonMonotonicTimestamp {
         /// Timestamp of the previous edge.
         previous: u64,
@@ -53,7 +54,7 @@ impl fmt::Display for GraphError {
             }
             GraphError::NonMonotonicTimestamp { previous, current } => write!(
                 f,
-                "edge timestamps must be strictly increasing: {current} follows {previous}"
+                "edge timestamps must be non-decreasing: {current} follows {previous}"
             ),
             GraphError::MisalignedPatternTimestamp { expected, found } => write!(
                 f,

@@ -11,7 +11,9 @@ use crate::label::Label;
 /// A directed edge carrying a timestamp.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TemporalEdge {
-    /// Timestamp. Within one graph, timestamps are strictly increasing in storage order.
+    /// Timestamp. Within one graph, timestamps are non-decreasing in storage order;
+    /// edges sharing a timestamp are totally ordered by storage position (arrival
+    /// order), which is the deterministic tie-break every consumer uses.
     pub ts: u64,
     /// Source node id.
     pub src: usize,
@@ -21,9 +23,11 @@ pub struct TemporalEdge {
 
 /// A node-labeled temporal graph with totally ordered edges.
 ///
-/// Edges are stored sorted by timestamp; the storage index of an edge therefore doubles
-/// as its rank in the total edge order, which the mining algorithms rely on (residual
-/// graphs are edge-array suffixes).
+/// Edges are stored sorted by timestamp (non-decreasing; equal timestamps keep their
+/// insertion order); the storage index of an edge therefore doubles as its rank in the
+/// total edge order, which the mining algorithms rely on (residual graphs are
+/// edge-array suffixes). The storage position is the deterministic tie-break: two
+/// edges sharing a timestamp are still totally ordered, by position.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TemporalGraph {
     labels: Vec<Label>,
@@ -49,7 +53,7 @@ impl TemporalGraph {
                 });
             }
             if let Some(prev) = prev_ts {
-                if edge.ts <= prev {
+                if edge.ts < prev {
                     return Err(GraphError::NonMonotonicTimestamp {
                         previous: prev,
                         current: edge.ts,
@@ -176,7 +180,9 @@ impl GraphBuilder {
         self.labels.len() - 1
     }
 
-    /// Adds an edge. The timestamp must be strictly larger than the previous edge's.
+    /// Adds an edge. The timestamp must not be smaller than the previous edge's
+    /// (ties are allowed; equal-timestamp edges keep their insertion order as the
+    /// deterministic tie-break).
     pub fn add_edge(&mut self, src: usize, dst: usize, ts: u64) -> Result<(), GraphError> {
         if src >= self.labels.len() {
             return Err(GraphError::UnknownNode {
@@ -191,7 +197,7 @@ impl GraphBuilder {
             });
         }
         if let Some(last) = self.edges.last() {
-            if ts <= last.ts {
+            if ts < last.ts {
                 return Err(GraphError::NonMonotonicTimestamp {
                     previous: last.ts,
                     current: ts,
@@ -277,14 +283,35 @@ mod tests {
         let a = b.add_node(Label(0));
         let c = b.add_node(Label(1));
         b.add_edge(a, c, 5).unwrap();
-        let err = b.add_edge(c, a, 5).unwrap_err();
+        let err = b.add_edge(c, a, 4).unwrap_err();
         assert!(matches!(
             err,
             GraphError::NonMonotonicTimestamp {
                 previous: 5,
-                current: 5
+                current: 4
             }
         ));
+    }
+
+    #[test]
+    fn builder_accepts_timestamp_ties_in_insertion_order() {
+        // Regression for the non-decreasing relaxation: cross-tenant interleavings
+        // make timestamp collisions inevitable, so ties are legal and keep their
+        // insertion order as the tie-break.
+        let mut b = GraphBuilder::new();
+        let a = b.add_node(Label(0));
+        let c = b.add_node(Label(1));
+        b.add_edge(a, c, 5).unwrap();
+        b.add_edge(c, a, 5).unwrap();
+        b.add_edge(a, c, 5).unwrap();
+        let g = b.build();
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.edge(0).src, a);
+        assert_eq!(g.edge(1).src, c);
+        assert_eq!(g.edge(2).src, a);
+        assert_eq!(g.timespan(), Some((5, 5)));
+        // `TemporalGraph::new` agrees with the builder.
+        assert!(TemporalGraph::new(g.labels().to_vec(), g.edges().to_vec()).is_ok());
     }
 
     #[test]

@@ -1,11 +1,15 @@
 //! Incremental temporal graphs for the online (streaming) execution model.
 //!
 //! The batch pipeline materialises a full [`TemporalGraph`] before anything runs over
-//! it. A monitoring deployment instead observes an unbounded, totally ordered stream of
-//! timestamped edges. This module provides the substrate for that setting:
+//! it. A monitoring deployment instead observes an unbounded stream of timestamped
+//! edges — per producer in non-decreasing timestamp order. This module provides the
+//! substrate for that setting:
 //!
 //! * [`StreamEvent`] — one self-describing edge observation (it carries both endpoint
 //!   labels, so a consumer can learn nodes on the fly);
+//! * [`TenantId`] / [`TenantedEvent`] — the tenant identity carried alongside an event
+//!   in multi-tenant streams, where each tenant (trace/process/host) is its own
+//!   independently-ordered stream;
 //! * [`EdgePostings`] — the `(source label, destination label) → edge positions` index
 //!   shared by offline seed lookup ([`crate::gindex`] pioneered the per-pattern variant)
 //!   and the incremental graph;
@@ -30,7 +34,9 @@ use std::collections::HashMap;
 /// producer and must be stable across the stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StreamEvent {
-    /// Timestamp; must be strictly increasing across the stream (total edge order).
+    /// Timestamp; must be non-decreasing across the stream. Events sharing a timestamp
+    /// are ordered by arrival — the deterministic tie-break every consumer (graph
+    /// storage, matching, detection) applies, so ties never make results ambiguous.
     pub ts: u64,
     /// Source node id.
     pub src: usize,
@@ -52,6 +58,34 @@ impl StreamEvent {
             dst: self.dst,
         }
     }
+}
+
+/// Identity of the tenant (trace, process, host) that produced an event.
+///
+/// A multi-tenant monitoring stream is *not* one totally ordered firehose: each tenant
+/// is an independent stream with its own non-decreasing timestamp order and its own
+/// node-id space, and the interleaving between tenants carries no ordering guarantee
+/// at all. Consumers must therefore keep per-tenant state — the demux front-end in the
+/// `stream` crate routes events by this id to per-tenant detector instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u64);
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// One event of a multi-tenant stream: the tenant identity carried alongside the
+/// event. Ordering contract: within one tenant, timestamps are non-decreasing (ties
+/// in arrival order); *across* tenants there is no ordering contract — producers
+/// interleave however their schedulers please.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantedEvent {
+    /// The tenant that produced the event.
+    pub tenant: TenantId,
+    /// The event itself (timestamps and node ids are scoped to the tenant).
+    pub event: StreamEvent,
 }
 
 /// Postings from `(source label, destination label)` to the sorted edge positions
@@ -221,14 +255,15 @@ impl IncrementalGraph {
         self.track_postings
     }
 
-    /// Checks that `event` could be appended right now: its timestamp strictly
-    /// increases and it does not relabel a known node (or announce one node with two
-    /// labels via a self-loop). [`IncrementalGraph::append`] performs the same checks;
-    /// calling this first lets a caller reject an event *before* mutating any of its
-    /// own state.
+    /// Checks that `event` could be appended right now: its timestamp does not
+    /// decrease (ties are legal — equal-timestamp events keep their arrival order)
+    /// and it does not relabel a known node (or announce one node with two labels via
+    /// a self-loop). [`IncrementalGraph::append`] performs the same checks; calling
+    /// this first lets a caller reject an event *before* mutating any of its own
+    /// state.
     pub fn validate(&self, event: &StreamEvent) -> Result<(), GraphError> {
         if let Some(last) = self.last_ts {
-            if event.ts <= last {
+            if event.ts < last {
                 return Err(GraphError::NonMonotonicTimestamp {
                     previous: last,
                     current: event.ts,
@@ -262,11 +297,12 @@ impl IncrementalGraph {
     /// Appends one event, registering unseen endpoints, updating postings, and evicting
     /// edges that fall out of the retention window. Returns the edge's absolute index.
     ///
-    /// Errors if the timestamp does not strictly increase or an endpoint is re-announced
-    /// with a different label.
+    /// Errors if the timestamp decreases (non-decreasing is the contract; ties are
+    /// stored in arrival order, which is the deterministic tie-break) or an endpoint
+    /// is re-announced with a different label.
     pub fn append(&mut self, event: StreamEvent) -> Result<u64, GraphError> {
         if let Some(last) = self.last_ts {
-            if event.ts <= last {
+            if event.ts < last {
                 return Err(GraphError::NonMonotonicTimestamp {
                     previous: last,
                     current: event.ts,
@@ -483,11 +519,12 @@ mod tests {
         let mut g = IncrementalGraph::new();
         g.append(ev(5, 0, 1, 7, 8)).unwrap();
         assert!(g.validate(&ev(6, 1, 0, 8, 7)).is_ok());
+        assert!(g.validate(&ev(5, 1, 0, 8, 7)).is_ok(), "ties are legal");
         assert!(matches!(
-            g.validate(&ev(5, 1, 0, 8, 7)),
+            g.validate(&ev(4, 1, 0, 8, 7)),
             Err(GraphError::NonMonotonicTimestamp {
                 previous: 5,
-                current: 5
+                current: 4
             })
         ));
         assert!(matches!(
@@ -532,10 +569,10 @@ mod tests {
         let mut g = IncrementalGraph::new();
         g.append(ev(5, 0, 1, 7, 8)).unwrap();
         assert!(matches!(
-            g.append(ev(5, 1, 0, 8, 7)),
+            g.append(ev(4, 1, 0, 8, 7)),
             Err(GraphError::NonMonotonicTimestamp {
                 previous: 5,
-                current: 5
+                current: 4
             })
         ));
         assert!(matches!(
@@ -548,6 +585,30 @@ mod tests {
         ));
         // The graph is unchanged after the failures.
         assert_eq!(g.live_edge_count(), 1);
+    }
+
+    #[test]
+    fn equal_timestamps_append_in_arrival_order() {
+        // Regression for the non-decreasing relaxation: timestamp ties (inevitable
+        // once independent tenant streams interleave) are accepted, stored in arrival
+        // order, and survive snapshotting, postings, and eviction as one tie-group.
+        let mut g = IncrementalGraph::new();
+        g.append(ev(5, 0, 1, 7, 8)).unwrap();
+        g.append(ev(5, 1, 0, 8, 7)).unwrap();
+        g.append(ev(5, 0, 1, 7, 8)).unwrap();
+        g.append(ev(9, 1, 0, 8, 7)).unwrap();
+        assert_eq!(g.live_edge_count(), 4);
+        let order: Vec<(u64, usize)> = g.live_edges().iter().map(|e| (e.ts, e.src)).collect();
+        assert_eq!(order, vec![(5, 0), (5, 1), (5, 0), (9, 1)], "arrival order");
+        assert_eq!(g.candidates(l(7), l(8)), &[0, 2]);
+        // Snapshotting a tied window must not panic (the builder accepts ties too).
+        let snap = g.snapshot();
+        assert_eq!(snap.edge_count(), 4);
+        assert_eq!(snap.timespan(), Some((5, 9)));
+        // Eviction takes whole tie-groups: everything at ts 5 leaves together.
+        g.evict_up_to(5);
+        assert_eq!(g.live_edge_count(), 1);
+        assert_eq!(g.visible_from(), 6);
     }
 
     #[test]

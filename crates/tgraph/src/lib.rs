@@ -17,9 +17,11 @@
 //! * Residual graphs, residual node label postings, and the integer compression
 //!   `I(G, g)` of Section 4.4 ([`residual`]).
 //! * Seedable random graph/pattern generators for tests and benchmarks ([`generator`]).
-//! * The streaming substrate ([`incremental`]): self-describing stream events, the
-//!   graph-wide label-pair postings index, and the incrementally grown temporal graph
-//!   with a sliding retention window.
+//! * The streaming substrate ([`incremental`]): self-describing stream events (with
+//!   optional tenant identity for multi-tenant streams), the graph-wide label-pair
+//!   postings index, and the incrementally grown temporal graph with a sliding
+//!   retention window. Stream timestamps are non-decreasing per producer; ties are
+//!   resolved deterministically by arrival order.
 
 pub mod error;
 pub mod generator;
@@ -38,7 +40,7 @@ pub mod vf2;
 
 pub use error::GraphError;
 pub use graph::{GraphBuilder, TemporalEdge, TemporalGraph};
-pub use incremental::{EdgePostings, IncrementalGraph, StreamEvent};
+pub use incremental::{EdgePostings, IncrementalGraph, StreamEvent, TenantId, TenantedEvent};
 pub use label::{Label, LabelInterner};
 pub use matching::{contains_pattern, find_embeddings, Embedding};
 pub use pattern::{GrowthKind, PatternEdge, TemporalPattern};
