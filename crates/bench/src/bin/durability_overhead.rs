@@ -1,0 +1,331 @@
+//! Durability cost: what does write-ahead logging add to the hot streaming path?
+//!
+//! Mines a pool of real queries, then replays the test dataset's monitoring graph
+//! through a 1-shard [`ShardedDetector`] twice per measurement pass — once bare, once
+//! with a [`durable::Wal`] attached — and reports the log-append overhead as the
+//! median per-pair slowdown. The pairing discipline matches `stream_throughput`'s
+//! instrumentation-overhead measurement: at tiny scale a single run lasts ~1ms, where
+//! clock granularity and background-load drift masquerade as double-digit "overhead",
+//! so each pass repeats until ≥25ms of work has accumulated, bare/logged passes come
+//! in adjacent pairs (drift cancels in the ratio), and the median of 9 pair ratios is
+//! reported.
+//!
+//! A final logged run (instrumented, with a mid-stream snapshot) feeds the
+//! `bench-report/v1` artifact `BENCH_durability_overhead_<scale>.json`:
+//! `extra.durability_overhead_pct` carries the headline number, `extra.wal` the
+//! `durable.*` counter values, and `extra.recovery` the measured cost of rebuilding
+//! the detector from the log (`recover_sharded`), which doubles as an end-to-end
+//! recovery smoke check.
+//!
+//! `BQ_SCALE` selects the dataset size, `BQ_BENCH_DIR` the artifact directory.
+
+use bench::{print_header, print_row, secs, test_data, training_data, write_bench_report, Scale};
+use durable::{recover_sharded, Wal, WalConfig};
+use obs::{BenchReport, Json, LatencySummary, MetricsRegistry};
+use query::{formulate_queries, QueryOptions};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use stream::{CompiledQuery, LabelPairStats, ShardedDetector};
+use syscall::{Behavior, StreamSource};
+
+/// Queries registered in every configuration (the mined pool is cycled to this count).
+const QUERY_COUNT: usize = 8;
+
+fn wal_dir(tag: &str) -> PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "durability-overhead-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+struct RunResult {
+    elapsed: Duration,
+    detections: usize,
+}
+
+/// One replay of the full stream. With `wal: Some(dir)` the detector logs every
+/// registration and batch to a fresh write-ahead log in `dir` before applying it.
+fn run_once(
+    source: &StreamSource,
+    stats: &LabelPairStats,
+    pool: &[(String, CompiledQuery)],
+    window: u64,
+    wal: Option<&PathBuf>,
+) -> RunResult {
+    let mut detector = ShardedDetector::with_stats(1, stats.clone());
+    let wal = wal.map(|dir| {
+        let wal = Wal::create(dir, WalConfig::default()).expect("writable log dir");
+        wal.attach_sharded(&mut detector, stats)
+            .expect("fresh detector");
+        wal
+    });
+    for i in 0..QUERY_COUNT {
+        let (_, query) = &pool[i % pool.len()];
+        let cycle = (i / pool.len()) as u64;
+        let w = (window / (cycle + 1)).max(1);
+        detector
+            .register(query.clone(), w)
+            .expect("mined queries are valid");
+    }
+    let mut detections = 0usize;
+    let start = Instant::now();
+    for batch in source.batches() {
+        detections += detector
+            .on_batch(batch)
+            .expect("replayed dataset streams are valid")
+            .len();
+    }
+    detections += detector.flush().len();
+    let elapsed = start.elapsed();
+    if let Some(wal) = wal {
+        assert!(wal.take_error().is_none(), "log append failed");
+    }
+    RunResult {
+        elapsed,
+        detections,
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let training = training_data(scale);
+    let test = test_data(scale, &training);
+    let window = test.max_duration;
+    let events = test.graph.edge_count();
+    if events == 0 {
+        eprintln!("[durability] test dataset has no events; nothing to replay");
+        std::process::exit(2);
+    }
+
+    let options = QueryOptions {
+        query_size: 4,
+        top_queries: 2,
+        miner_top_k: 8,
+        cap_per_graph: 32,
+    };
+    let mut pool: Vec<(String, CompiledQuery)> = Vec::new();
+    for behavior in [Behavior::GzipDecompress, Behavior::ScpDownload] {
+        eprintln!("[setup] formulating queries for {}...", behavior.name());
+        let queries = formulate_queries(&training, behavior, &options);
+        if let Some(pattern) = queries.temporal.first() {
+            pool.push((
+                format!("{}/temporal", behavior.name()),
+                CompiledQuery::Temporal(pattern.clone()),
+            ));
+        }
+        pool.push((
+            format!("{}/nodeset", behavior.name()),
+            CompiledQuery::NodeSet(queries.nodeset.clone()),
+        ));
+        if let Some(pattern) = queries.nontemporal.first() {
+            pool.push((
+                format!("{}/ntemp", behavior.name()),
+                CompiledQuery::Static(pattern.clone()),
+            ));
+        }
+    }
+    let stats = LabelPairStats::from_graph(&test.graph);
+    let source = StreamSource::from_test_data(&test, 4096);
+
+    println!(
+        "durability_overhead (scale {}, {events} events, window {window}, {QUERY_COUNT} queries)",
+        scale.name(),
+    );
+
+    // Logging must not change behavior: the bare and logged runs detect identically.
+    {
+        let bare = run_once(&source, &stats, &pool, window, None);
+        let dir = wal_dir("parity");
+        let logged = run_once(&source, &stats, &pool, window, Some(&dir));
+        std::fs::remove_dir_all(dir).expect("cleanup");
+        assert_eq!(
+            bare.detections, logged.detections,
+            "attaching a log changed the detection count"
+        );
+    }
+
+    // Paired bare/logged passes; each pass accumulates >=25ms of replay work.
+    let pass = |logged: bool| {
+        let mut total = Duration::ZERO;
+        let mut reps = 0u32;
+        while reps == 0 || total < Duration::from_millis(25) {
+            let dir = logged.then(|| wal_dir("pass"));
+            total += run_once(&source, &stats, &pool, window, dir.as_ref()).elapsed;
+            if let Some(dir) = dir {
+                std::fs::remove_dir_all(dir).expect("cleanup");
+            }
+            reps += 1;
+        }
+        total.as_secs_f64() / f64::from(reps)
+    };
+    let mut pairs: Vec<(f64, f64)> = (0..9).map(|_| (pass(false), pass(true))).collect();
+    pairs.sort_by(|a, b| (a.1 / a.0).total_cmp(&(b.1 / b.0)));
+    let (bare_secs, logged_secs) = pairs[pairs.len() / 2];
+    let overhead_pct = (logged_secs / bare_secs - 1.0).max(0.0) * 100.0;
+
+    let widths = [12usize, 12, 12, 14];
+    print_header(
+        &["config", "secs/run", "events/sec", "overhead_pct"],
+        &widths,
+    );
+    print_row(
+        &[
+            "bare".into(),
+            format!("{bare_secs:.4}"),
+            format!("{:.0}", events as f64 / bare_secs),
+            "-".into(),
+        ],
+        &widths,
+    );
+    print_row(
+        &[
+            "logged".into(),
+            format!("{logged_secs:.4}"),
+            format!("{:.0}", events as f64 / logged_secs),
+            format!("{overhead_pct:.2}"),
+        ],
+        &widths,
+    );
+
+    // The artifact run: logged, instrumented, with a snapshot cut mid-stream, then a
+    // timed recovery from the resulting log.
+    let registry = MetricsRegistry::new();
+    let dir = wal_dir("artifact");
+    let wal = Wal::create(&dir, WalConfig::default()).expect("writable log dir");
+    wal.instrument(&registry);
+    let mut detector = ShardedDetector::with_stats(1, stats.clone());
+    wal.attach_sharded(&mut detector, &stats)
+        .expect("fresh detector");
+    detector.instrument(&registry);
+    for i in 0..QUERY_COUNT {
+        let (_, query) = &pool[i % pool.len()];
+        let cycle = (i / pool.len()) as u64;
+        let w = (window / (cycle + 1)).max(1);
+        detector
+            .register(query.clone(), w)
+            .expect("mined queries are valid");
+    }
+    let batch_latency = registry.histogram("bench.batch_latency_ns");
+    let batches = source.batches().count();
+    let mut detections = 0usize;
+    let start = Instant::now();
+    for (i, batch) in source.batches().enumerate() {
+        let batch_start = Instant::now();
+        detections += detector
+            .on_batch(batch)
+            .expect("replayed dataset streams are valid")
+            .len();
+        batch_latency.record(batch_start.elapsed().as_nanos() as u64);
+        if i == batches / 2 {
+            wal.snapshot_sharded(&detector).expect("snapshot");
+        }
+    }
+    detections += detector.flush().len();
+    let elapsed = start.elapsed();
+    assert!(wal.take_error().is_none(), "log append failed");
+    let shard_stats = detector.shard_stats();
+    drop(detector);
+    drop(wal);
+
+    let recovery_start = Instant::now();
+    let recovered = recover_sharded(&dir, WalConfig::default()).expect("recoverable log");
+    let recovery = recovery_start.elapsed();
+    assert!(recovered.damage.is_none(), "bench log must recover cleanly");
+    assert_eq!(
+        recovered.engine.query_count(),
+        QUERY_COUNT,
+        "recovery must rebuild every registration"
+    );
+    println!(
+        "\nrecovery: {} in {} ({} records across {} segments)",
+        recovered.registrations.len(),
+        secs(recovery),
+        recovered.records_replayed,
+        recovered.segments_replayed,
+    );
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+
+    let snapshot = registry.snapshot();
+    let counter = |name: &str| snapshot.counter(name).unwrap_or(0);
+    let memory_high_water = snapshot
+        .gauge("detector.shard0.memory_bytes")
+        .map_or(0, |(_, hw)| hw);
+    let retained_high_water = snapshot
+        .gauge("detector.shard0.retained_edges")
+        .map_or(0, |(_, hw)| hw);
+    let latency = snapshot
+        .histogram("bench.batch_latency_ns")
+        .filter(|h| h.count > 0)
+        .map(LatencySummary::from_histogram)
+        .unwrap_or_default();
+
+    let mut report = BenchReport::new("durability_overhead", scale.name());
+    report.events = events as u64;
+    report.detections = detections as u64;
+    report.elapsed_ns = elapsed.as_nanos() as u64;
+    report.events_per_sec = events as f64 / elapsed.as_secs_f64();
+    report.latency = latency;
+    report.memory_high_water_bytes = memory_high_water;
+    report.retained_edges = retained_high_water;
+    report.shards = shard_stats;
+    report.extra = vec![
+        ("durability_overhead_pct".into(), Json::Num(overhead_pct)),
+        (
+            "paired_passes".into(),
+            Json::Obj(vec![
+                ("pairs".into(), Json::from_u64(pairs.len() as u64)),
+                ("bare_secs".into(), Json::Num(bare_secs)),
+                ("logged_secs".into(), Json::Num(logged_secs)),
+            ]),
+        ),
+        (
+            "wal".into(),
+            Json::Obj(vec![
+                (
+                    "records_total".into(),
+                    Json::from_u64(counter("durable.records_total")),
+                ),
+                (
+                    "bytes_total".into(),
+                    Json::from_u64(counter("durable.bytes_total")),
+                ),
+                (
+                    "rotations_total".into(),
+                    Json::from_u64(counter("durable.rotations_total")),
+                ),
+                (
+                    "snapshots_total".into(),
+                    Json::from_u64(counter("durable.snapshots_total")),
+                ),
+            ]),
+        ),
+        (
+            "recovery".into(),
+            Json::Obj(vec![
+                (
+                    "elapsed_ns".into(),
+                    Json::from_u64(recovery.as_nanos() as u64),
+                ),
+                (
+                    "records_replayed".into(),
+                    Json::from_u64(recovered.records_replayed),
+                ),
+                (
+                    "segments_replayed".into(),
+                    Json::from_u64(recovered.segments_replayed),
+                ),
+                (
+                    "registrations".into(),
+                    Json::from_u64(recovered.registrations.len() as u64),
+                ),
+            ]),
+        ),
+    ];
+    if let Err(error) = write_bench_report(&report) {
+        eprintln!("[durability] failed to write bench report: {error}");
+        std::process::exit(1);
+    }
+}

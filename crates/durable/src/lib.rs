@@ -1,0 +1,98 @@
+//! Durability for the streaming detectors: a write-ahead event log, periodic
+//! snapshots, and crash recovery with detection parity.
+//!
+//! The engines in [`stream`] are deterministic functions of their inputs — the
+//! registration sequence and the delivered event batches. So instead of serializing
+//! live matcher state (partial temporal runs, open static anchors, keyword windows),
+//! this crate logs the *inputs*, checksummed and length-prefixed, before the engine
+//! applies them. Recovery is then load-snapshot-then-replay-suffix through the
+//! ordinary engine API, and the recovered engine detects the rest of the stream
+//! exactly as the uninterrupted one would have.
+//!
+//! ```no_run
+//! use durable::{recover_detector, Wal, WalConfig};
+//! use stream::Detector;
+//!
+//! // Live: attach the log before registering queries or feeding events.
+//! let wal = Wal::create("/var/lib/tgminer/wal", WalConfig::default())?;
+//! let mut detector = Detector::new();
+//! wal.attach_detector(&mut detector)?;
+//! // ... register queries, feed batches, occasionally wal.snapshot_detector(&detector) ...
+//!
+//! // After a crash: rebuild and keep going.
+//! let recovered = recover_detector("/var/lib/tgminer/wal", WalConfig::default())?;
+//! let mut detector = recovered.engine;
+//! # detector.flush();
+//! # Ok::<(), durable::DurableError>(())
+//! ```
+//!
+//! Segments are append-only and never extended after a restart (a fresh segment is
+//! opened instead), so torn bytes from a crash can never swallow later records. Old
+//! segments are kept; [`read_logged_events`] / [`read_logged_tenant_events`] turn
+//! them back into replayable streams for time-travel debugging.
+
+pub mod codec;
+pub mod crc32;
+pub mod error;
+pub mod record;
+pub mod recover;
+pub mod segment;
+mod snapshot;
+pub mod wal;
+
+pub use error::{DurableError, WalDamage};
+pub use record::{EngineKind, InitRecord, SnapshotHeader, WalRecord};
+pub use recover::{
+    recover_detector, recover_detector_tolerant, recover_pool, recover_pool_tolerant,
+    recover_sharded, recover_sharded_tolerant, Recovered, RecoveredRegistration,
+};
+pub use wal::{Wal, WalConfig};
+
+use segment::{parse_segment_index, segment_file_name, FrameReader};
+use std::path::Path;
+use tgraph::{StreamEvent, TenantedEvent};
+
+fn logged_records(dir: &Path) -> Result<Vec<WalRecord>, DurableError> {
+    let mut records = Vec::new();
+    for index in segment::list_indices(dir, parse_segment_index)? {
+        let path = dir.join(segment_file_name(index));
+        let mut reader = FrameReader::open(&path)?;
+        while let Some((offset, payload)) = reader.next().map_err(DurableError::Damage)? {
+            records.push(
+                WalRecord::decode(&payload).map_err(|e| DurableError::Codec {
+                    file: path.clone(),
+                    offset,
+                    detail: e.detail,
+                })?,
+            );
+        }
+    }
+    Ok(records)
+}
+
+/// Every [`StreamEvent`] ever logged at `dir`, across all segments in delivery
+/// order — the full history, not just the post-snapshot suffix. Feed it back through
+/// `syscall::stream::StreamSource::from_events` to re-drive any past run.
+pub fn read_logged_events(dir: impl AsRef<Path>) -> Result<Vec<StreamEvent>, DurableError> {
+    let mut events = Vec::new();
+    for record in logged_records(dir.as_ref())? {
+        if let WalRecord::Batch(batch) = record {
+            events.extend(batch);
+        }
+    }
+    Ok(events)
+}
+
+/// Every [`TenantedEvent`] ever logged at `dir`, in delivery order (the pool
+/// counterpart of [`read_logged_events`]).
+pub fn read_logged_tenant_events(
+    dir: impl AsRef<Path>,
+) -> Result<Vec<TenantedEvent>, DurableError> {
+    let mut events = Vec::new();
+    for record in logged_records(dir.as_ref())? {
+        if let WalRecord::TenantBatch(batch) = record {
+            events.extend(batch);
+        }
+    }
+    Ok(events)
+}

@@ -1,0 +1,473 @@
+//! Crash recovery: rebuild an engine from its log, provably identical to one that
+//! never crashed.
+//!
+//! Recovery is replay, not deserialization: the newest usable snapshot supplies the
+//! engine shape and a bounded-horizon op prefix, the log segments at or after the
+//! snapshot's index supply the suffix, and every op is pushed through the ordinary
+//! engine API in its original order. Registrations replay with their logged ids
+//! (divergence is a typed error, never silent), event batches replay with errors
+//! swallowed and detections discarded — the live run already emitted both — and the
+//! snapshot's visibility floors are re-applied at the end. The result detects the
+//! rest of the stream byte-for-byte like the uninterrupted engine
+//! (`tests/recovery_parity.rs` proves it at 1/2/4 shards and across tenant pools).
+//!
+//! Strict recovery (`recover_*`) refuses damaged logs; tolerant recovery
+//! (`recover_*_tolerant`) rebuilds the longest valid prefix and reports the damage —
+//! it never skips *past* a damaged record, because everything after a tear is
+//! unframed garbage.
+
+use crate::error::{DurableError, WalDamage};
+use crate::record::{EngineKind, InitRecord, WalRecord};
+use crate::segment::{
+    parse_segment_index, parse_snapshot_index, segment_file_name, snapshot_file_name, FrameReader,
+};
+use crate::snapshot;
+use crate::wal::{TailOp, TailState, Wal, WalConfig};
+use obs::TraceEvent;
+use std::collections::BTreeMap;
+use std::path::Path;
+use stream::{
+    CompiledQuery, Detector, Durability, LabelPairStats, QueryId, ShardedDetector, TenantPool,
+};
+use tgraph::{StreamEvent, TenantId, TenantedEvent};
+
+/// A live registration surfaced by recovery. `visible_from` is the value the
+/// *original* registration reported — a query's look-back floor is a fact about when
+/// it entered the stream, not about when the process last restarted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredRegistration {
+    /// The query's id — identical to the live run's (ids are never reused, so replay
+    /// reassigns them deterministically).
+    pub id: QueryId,
+    /// The registered match window.
+    pub window: u64,
+    /// The original registration's look-back floor, verbatim from the log.
+    pub visible_from: u64,
+}
+
+/// A recovered engine plus everything recovery learned on the way.
+#[derive(Debug)]
+pub struct Recovered<E> {
+    /// The rebuilt engine, ready for the next batch.
+    pub engine: E,
+    /// The re-opened log, already attached to `engine` (appends continue in a fresh
+    /// segment; nothing is ever written after torn bytes).
+    pub wal: Wal,
+    /// Live registrations in id order, with their original `visible_from` values.
+    pub registrations: Vec<RecoveredRegistration>,
+    /// Damage found by tolerant recovery (`None` under strict recovery, which fails
+    /// instead). The engine reflects every record before the damage point.
+    pub damage: Option<WalDamage>,
+    /// Log segments read (including a partially-read damaged one).
+    pub segments_replayed: u64,
+    /// Operations replayed (snapshot tail + log suffix).
+    pub records_replayed: u64,
+}
+
+impl<E> Recovered<E> {
+    /// The `recovery_completed` trace event for this recovery, ready to emit into
+    /// whatever sink the caller observes with.
+    pub fn recovery_event(&self) -> TraceEvent {
+        TraceEvent::RecoveryCompleted {
+            segments: self.segments_replayed,
+            records: self.records_replayed,
+            queries: self.registrations.len() as u64,
+        }
+    }
+}
+
+/// Everything read off disk before any engine is touched.
+struct LoadedLog {
+    init: InitRecord,
+    /// Snapshot-time visibility floors, present iff a snapshot was used.
+    floors: Option<Vec<(u64, Vec<u64>)>>,
+    ops: Vec<TailOp>,
+    state: TailState,
+    damage: Option<WalDamage>,
+    segments_replayed: u64,
+}
+
+fn divergence(detail: impl Into<String>) -> DurableError {
+    DurableError::ReplayDivergence {
+        detail: detail.into(),
+    }
+}
+
+fn load_log(dir: &Path, tolerant: bool) -> Result<LoadedLog, DurableError> {
+    // Newest usable snapshot first. Strict mode trusts exactly the newest snapshot
+    // (a damaged one is an error to surface, not to route around); tolerant mode
+    // walks back to older snapshots, and ultimately to a full-log replay.
+    let mut base = None;
+    for &index in crate::segment::list_indices(dir, parse_snapshot_index)?
+        .iter()
+        .rev()
+    {
+        match snapshot::load(&dir.join(snapshot_file_name(index))) {
+            Ok((header, ops)) => {
+                base = Some((index, header, ops));
+                break;
+            }
+            Err(_) if tolerant => continue,
+            Err(e) => return Err(e),
+        }
+    }
+
+    let (first_segment, mut init, floors, mut ops, mut state) = match base {
+        Some((index, header, ops)) => {
+            let state = TailState::from_header(&header);
+            (index, Some(header.init), Some(header.floors), ops, state)
+        }
+        None => (0, None, None, Vec::new(), TailState::default()),
+    };
+    // The snapshot header's aggregates describe the *pruned-away* history; replayed
+    // ops (snapshot tail included) re-advance them from there.
+    for op in &ops {
+        state.observe(op);
+    }
+
+    let mut damage = None;
+    let mut segments_replayed = 0u64;
+    'segments: for &index in crate::segment::list_indices(dir, parse_segment_index)?
+        .iter()
+        .filter(|&&i| i >= first_segment)
+    {
+        let path = dir.join(segment_file_name(index));
+        let mut reader = FrameReader::open(&path)?;
+        segments_replayed += 1;
+        loop {
+            let (offset, payload) = match reader.next() {
+                Ok(Some(frame)) => frame,
+                Ok(None) => break,
+                Err(found) => {
+                    if tolerant {
+                        // Nothing at or after a tear is trustworthy — in this
+                        // segment or any later one.
+                        damage = Some(found);
+                        break 'segments;
+                    }
+                    return Err(DurableError::Damage(found));
+                }
+            };
+            let record = WalRecord::decode(&payload).map_err(|e| DurableError::Codec {
+                file: path.clone(),
+                offset,
+                detail: e.detail,
+            })?;
+            match record {
+                WalRecord::Init(record) => {
+                    if init.is_some() {
+                        return Err(divergence(format!(
+                            "duplicate Init record at {}:{offset}",
+                            path.display()
+                        )));
+                    }
+                    init = Some(record);
+                }
+                WalRecord::SnapshotHeader(_) | WalRecord::SnapshotFooter { .. } => {
+                    return Err(DurableError::Codec {
+                        file: path.clone(),
+                        offset,
+                        detail: "snapshot record inside a log segment".into(),
+                    });
+                }
+                other => {
+                    let op = TailOp::from_record(other).expect("remaining kinds are ops");
+                    state.observe(&op);
+                    ops.push(op);
+                }
+            }
+        }
+    }
+
+    let init = init.ok_or_else(|| DurableError::MissingInit {
+        dir: dir.to_path_buf(),
+    })?;
+    Ok(LoadedLog {
+        init,
+        floors,
+        ops,
+        state,
+        damage,
+        segments_replayed,
+    })
+}
+
+/// The uniform replay surface the three engines expose to recovery. Replay methods
+/// return `Err` only for *structural* divergence (a record kind the engine cannot
+/// receive, a floor table of the wrong shape); engine-level batch errors replay
+/// exactly as they happened live and are swallowed.
+trait RecoverEngine: Sized {
+    const KIND: EngineKind;
+    fn build(init: &InitRecord) -> Self;
+    fn replay_register(&mut self, query: CompiledQuery, window: u64) -> Result<QueryId, String>;
+    fn replay_deregister(&mut self, id: QueryId) -> Result<(), String>;
+    fn replay_batch(&mut self, events: &[StreamEvent]) -> Result<(), String>;
+    fn replay_tenant_batch(&mut self, events: &[TenantedEvent]) -> Result<(), String>;
+    fn restore_floors(&mut self, floors: &[(u64, Vec<u64>)]) -> Result<(), String>;
+    fn attach(&mut self, durability: Durability);
+}
+
+fn stats_of(init: &InitRecord) -> LabelPairStats {
+    LabelPairStats::from_pair_counts(init.stats.iter().copied())
+}
+
+impl RecoverEngine for Detector {
+    const KIND: EngineKind = EngineKind::Detector;
+
+    fn build(_init: &InitRecord) -> Self {
+        Detector::new()
+    }
+
+    fn replay_register(&mut self, query: CompiledQuery, window: u64) -> Result<QueryId, String> {
+        self.register(query, window)
+            .map(|r| r.id)
+            .map_err(|e| e.to_string())
+    }
+
+    fn replay_deregister(&mut self, id: QueryId) -> Result<(), String> {
+        self.deregister(id).map_err(|e| e.to_string())
+    }
+
+    fn replay_batch(&mut self, events: &[StreamEvent]) -> Result<(), String> {
+        let _ = self.on_batch(events);
+        Ok(())
+    }
+
+    fn replay_tenant_batch(&mut self, _events: &[TenantedEvent]) -> Result<(), String> {
+        Err("tenant batch in a detector log".into())
+    }
+
+    fn restore_floors(&mut self, floors: &[(u64, Vec<u64>)]) -> Result<(), String> {
+        for (tenant, shard_floors) in floors {
+            if *tenant != 0 || shard_floors.len() != 1 {
+                return Err("detector snapshot floors must be a single tenant-0 shard".into());
+            }
+            self.restore_visible_floor(shard_floors[0]);
+        }
+        Ok(())
+    }
+
+    fn attach(&mut self, durability: Durability) {
+        self.set_durability(Some(durability));
+    }
+}
+
+impl RecoverEngine for ShardedDetector {
+    const KIND: EngineKind = EngineKind::Sharded;
+
+    fn build(init: &InitRecord) -> Self {
+        ShardedDetector::with_stats(init.shards as usize, stats_of(init))
+    }
+
+    fn replay_register(&mut self, query: CompiledQuery, window: u64) -> Result<QueryId, String> {
+        self.register(query, window)
+            .map(|r| r.id)
+            .map_err(|e| e.to_string())
+    }
+
+    fn replay_deregister(&mut self, id: QueryId) -> Result<(), String> {
+        self.deregister(id).map_err(|e| e.to_string())
+    }
+
+    fn replay_batch(&mut self, events: &[StreamEvent]) -> Result<(), String> {
+        let _ = self.on_batch(events);
+        Ok(())
+    }
+
+    fn replay_tenant_batch(&mut self, _events: &[TenantedEvent]) -> Result<(), String> {
+        Err("tenant batch in a sharded-detector log".into())
+    }
+
+    fn restore_floors(&mut self, floors: &[(u64, Vec<u64>)]) -> Result<(), String> {
+        for (tenant, shard_floors) in floors {
+            if *tenant != 0 || shard_floors.len() != self.shard_count() {
+                return Err(format!(
+                    "sharded snapshot floors must cover all {} shards for tenant 0",
+                    self.shard_count()
+                ));
+            }
+            self.restore_shard_visible_floors(shard_floors);
+        }
+        Ok(())
+    }
+
+    fn attach(&mut self, durability: Durability) {
+        self.set_durability(Some(durability));
+    }
+}
+
+impl RecoverEngine for TenantPool {
+    const KIND: EngineKind = EngineKind::Pool;
+
+    fn build(init: &InitRecord) -> Self {
+        TenantPool::with_stats(init.groups as usize, init.shards as usize, stats_of(init))
+    }
+
+    fn replay_register(&mut self, query: CompiledQuery, window: u64) -> Result<QueryId, String> {
+        self.register(query, window)
+            .map(|r| r.id)
+            .map_err(|e| e.to_string())
+    }
+
+    fn replay_deregister(&mut self, id: QueryId) -> Result<(), String> {
+        self.deregister(id).map_err(|e| e.to_string())
+    }
+
+    fn replay_batch(&mut self, _events: &[StreamEvent]) -> Result<(), String> {
+        Err("untenanted batch in a pool log".into())
+    }
+
+    fn replay_tenant_batch(&mut self, events: &[TenantedEvent]) -> Result<(), String> {
+        let _ = self.on_batch(events);
+        Ok(())
+    }
+
+    fn restore_floors(&mut self, floors: &[(u64, Vec<u64>)]) -> Result<(), String> {
+        let shards = self.shards_per_tenant();
+        if floors.iter().any(|(_, f)| f.len() != shards) {
+            return Err(format!(
+                "pool snapshot floors must cover all {shards} shards"
+            ));
+        }
+        let mapped: Vec<(TenantId, Vec<u64>)> = floors
+            .iter()
+            .map(|(tenant, f)| (TenantId(*tenant), f.clone()))
+            .collect();
+        self.restore_tenant_visible_floors(&mapped);
+        Ok(())
+    }
+
+    fn attach(&mut self, durability: Durability) {
+        self.set_durability(Some(durability));
+    }
+}
+
+fn recover_engine<E: RecoverEngine>(
+    dir: &Path,
+    config: WalConfig,
+    tolerant: bool,
+) -> Result<Recovered<E>, DurableError> {
+    let loaded = load_log(dir, tolerant)?;
+    if loaded.init.kind != E::KIND {
+        return Err(DurableError::EngineMismatch {
+            expected: E::KIND,
+            found: loaded.init.kind,
+        });
+    }
+
+    let mut engine = E::build(&loaded.init);
+    let mut live: BTreeMap<u64, RecoveredRegistration> = BTreeMap::new();
+    for op in &loaded.ops {
+        match op {
+            TailOp::Register {
+                id,
+                window,
+                visible_from,
+                query,
+            } => {
+                // Registrations were logged *after* live acceptance, so a replay
+                // rejection — or a different assigned id — means the log and the
+                // engine build disagree. Both are typed divergence, never silence.
+                let assigned = engine
+                    .replay_register(query.clone(), *window)
+                    .map_err(|e| divergence(format!("replaying registration {id}: {e}")))?;
+                if assigned as u64 != *id {
+                    return Err(divergence(format!(
+                        "replay assigned query id {assigned}, log recorded {id}"
+                    )));
+                }
+                live.insert(
+                    *id,
+                    RecoveredRegistration {
+                        id: assigned,
+                        window: *window,
+                        visible_from: *visible_from,
+                    },
+                );
+            }
+            TailOp::Deregister { id } => {
+                engine
+                    .replay_deregister(*id as QueryId)
+                    .map_err(|e| divergence(format!("replaying deregistration {id}: {e}")))?;
+                live.remove(id);
+            }
+            TailOp::Batch(events) => engine.replay_batch(events).map_err(divergence)?,
+            TailOp::TenantBatch(events) => {
+                engine.replay_tenant_batch(events).map_err(divergence)?
+            }
+        }
+    }
+    // Floors restore *after* replay: `restore_*` ratchets (never lowers), so the
+    // result is the max of the snapshot-time floor and anything replay re-evicted —
+    // the live engine's floor at the same point in the stream.
+    if let Some(floors) = &loaded.floors {
+        engine.restore_floors(floors).map_err(divergence)?;
+    }
+
+    let records_replayed = loaded.ops.len() as u64;
+    let wal = Wal::resume(
+        dir.to_path_buf(),
+        config,
+        loaded.init,
+        loaded.ops,
+        loaded.state,
+    )?;
+    engine.attach(wal.sink());
+
+    Ok(Recovered {
+        engine,
+        wal,
+        registrations: live.into_values().collect(),
+        damage: loaded.damage,
+        segments_replayed: loaded.segments_replayed,
+        records_replayed,
+    })
+}
+
+/// Rebuilds a [`Detector`] from the log at `dir`, refusing damaged logs.
+pub fn recover_detector(
+    dir: impl AsRef<Path>,
+    config: WalConfig,
+) -> Result<Recovered<Detector>, DurableError> {
+    recover_engine(dir.as_ref(), config, false)
+}
+
+/// Rebuilds a [`Detector`] from the longest valid log prefix, reporting any damage.
+pub fn recover_detector_tolerant(
+    dir: impl AsRef<Path>,
+    config: WalConfig,
+) -> Result<Recovered<Detector>, DurableError> {
+    recover_engine(dir.as_ref(), config, true)
+}
+
+/// Rebuilds a [`ShardedDetector`] from the log at `dir`, refusing damaged logs.
+pub fn recover_sharded(
+    dir: impl AsRef<Path>,
+    config: WalConfig,
+) -> Result<Recovered<ShardedDetector>, DurableError> {
+    recover_engine(dir.as_ref(), config, false)
+}
+
+/// Rebuilds a [`ShardedDetector`] from the longest valid log prefix.
+pub fn recover_sharded_tolerant(
+    dir: impl AsRef<Path>,
+    config: WalConfig,
+) -> Result<Recovered<ShardedDetector>, DurableError> {
+    recover_engine(dir.as_ref(), config, true)
+}
+
+/// Rebuilds a [`TenantPool`] from the log at `dir`, refusing damaged logs.
+pub fn recover_pool(
+    dir: impl AsRef<Path>,
+    config: WalConfig,
+) -> Result<Recovered<TenantPool>, DurableError> {
+    recover_engine(dir.as_ref(), config, false)
+}
+
+/// Rebuilds a [`TenantPool`] from the longest valid log prefix.
+pub fn recover_pool_tolerant(
+    dir: impl AsRef<Path>,
+    config: WalConfig,
+) -> Result<Recovered<TenantPool>, DurableError> {
+    recover_engine(dir.as_ref(), config, true)
+}

@@ -1,0 +1,705 @@
+//! The write-ahead log: an append-only, segmented record stream plus the in-memory
+//! replay tail that snapshots are cut from.
+//!
+//! A [`Wal`] attaches to exactly one engine ([`stream::Detector`],
+//! [`stream::ShardedDetector`], or [`stream::TenantPool`]) by installing a
+//! [`stream::DurabilitySink`] behind the engine's `set_durability` hook. From then on
+//! every accepted registration/deregistration and every delivered event batch is
+//! framed, checksummed, and appended *before* the engine applies it — so a crash at
+//! any record boundary loses nothing that reached the engine.
+//!
+//! Appends are infallible from the engine's point of view: the first I/O failure is
+//! latched and every later append becomes a no-op, surfacing through
+//! [`Wal::take_error`] (and failing the next snapshot) instead of panicking the hot
+//! path. Records are written with plain unbuffered `write_all` — there is no
+//! user-space buffer to lose, so "kill at a record boundary" is exactly the
+//! durability granularity.
+
+use crate::error::DurableError;
+use crate::record::{EngineKind, InitRecord, SnapshotHeader, WalRecord};
+use crate::segment::{parse_segment_index, segment_file_name, write_frame};
+use crate::snapshot;
+use obs::{Counter, MetricsRegistry, SharedSink, TraceEvent};
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+use stream::{
+    CompiledQuery, Detector, Durability, DurabilitySink, LabelPairStats, QueryId, ShardedDetector,
+    TenantPool,
+};
+use tgraph::{StreamEvent, TenantedEvent};
+
+/// Tuning knobs for a [`Wal`].
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Rotate to a fresh segment once the current one reaches this many bytes.
+    pub max_segment_bytes: u64,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        Self {
+            max_segment_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// A replayable logged operation — every record kind that mutates engine state.
+/// `Init`/snapshot records describe shape, not operations, so they are not tail ops.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum TailOp {
+    Register {
+        id: u64,
+        window: u64,
+        visible_from: u64,
+        query: CompiledQuery,
+    },
+    Deregister {
+        id: u64,
+    },
+    Batch(Vec<StreamEvent>),
+    TenantBatch(Vec<TenantedEvent>),
+}
+
+impl TailOp {
+    pub(crate) fn to_record(&self) -> WalRecord {
+        match self {
+            TailOp::Register {
+                id,
+                window,
+                visible_from,
+                query,
+            } => WalRecord::Register {
+                id: *id,
+                window: *window,
+                visible_from: *visible_from,
+                query: query.clone(),
+            },
+            TailOp::Deregister { id } => WalRecord::Deregister { id: *id },
+            TailOp::Batch(events) => WalRecord::Batch(events.clone()),
+            TailOp::TenantBatch(events) => WalRecord::TenantBatch(events.clone()),
+        }
+    }
+
+    /// The op a log record describes, or `None` for shape records.
+    pub(crate) fn from_record(record: WalRecord) -> Option<Self> {
+        match record {
+            WalRecord::Register {
+                id,
+                window,
+                visible_from,
+                query,
+            } => Some(TailOp::Register {
+                id,
+                window,
+                visible_from,
+                query,
+            }),
+            WalRecord::Deregister { id } => Some(TailOp::Deregister { id }),
+            WalRecord::Batch(events) => Some(TailOp::Batch(events)),
+            WalRecord::TenantBatch(events) => Some(TailOp::TenantBatch(events)),
+            WalRecord::Init(_)
+            | WalRecord::SnapshotHeader(_)
+            | WalRecord::SnapshotFooter { .. } => None,
+        }
+    }
+}
+
+/// The running aggregates the snapshot pruning horizon is computed from. Recovery
+/// rebuilds the same state by observing the snapshot header and every replayed op.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TailState {
+    /// Largest window ever registered (never shrinks — a deregistered wide query's
+    /// partial matches may still be in flight when a snapshot is cut).
+    pub(crate) max_window: u64,
+    /// Last event timestamp on the single stream.
+    pub(crate) last_ts: Option<u64>,
+    /// Last event timestamp per tenant (raw ids; sorted for deterministic headers).
+    pub(crate) tenant_last_ts: BTreeMap<u64, u64>,
+}
+
+impl TailState {
+    pub(crate) fn from_header(header: &SnapshotHeader) -> Self {
+        Self {
+            max_window: header.max_window,
+            last_ts: header.last_ts,
+            tenant_last_ts: header.tenant_last_ts.iter().copied().collect(),
+        }
+    }
+
+    pub(crate) fn observe(&mut self, op: &TailOp) {
+        match op {
+            TailOp::Register { window, .. } => self.max_window = self.max_window.max(*window),
+            TailOp::Deregister { .. } => {}
+            TailOp::Batch(events) => {
+                if let Some(last) = events.last() {
+                    self.last_ts = Some(self.last_ts.map_or(last.ts, |ts| ts.max(last.ts)));
+                }
+            }
+            TailOp::TenantBatch(events) => {
+                for te in events {
+                    self.last_ts = Some(self.last_ts.map_or(te.event.ts, |ts| ts.max(te.event.ts)));
+                    let entry = self
+                        .tenant_last_ts
+                        .entry(te.tenant.0)
+                        .or_insert(te.event.ts);
+                    *entry = (*entry).max(te.event.ts);
+                }
+            }
+        }
+    }
+}
+
+struct WalInstruments {
+    records: Counter,
+    bytes: Counter,
+    rotations: Counter,
+    snapshots: Counter,
+}
+
+pub(crate) struct WalCore {
+    dir: PathBuf,
+    config: WalConfig,
+    init: Option<InitRecord>,
+    segment_index: u64,
+    file: File,
+    segment_bytes: u64,
+    tail: Vec<TailOp>,
+    state: TailState,
+    error: Option<DurableError>,
+    instruments: Option<WalInstruments>,
+    trace: Option<SharedSink>,
+}
+
+fn open_segment(dir: &Path, index: u64) -> Result<File, DurableError> {
+    let path = dir.join(segment_file_name(index));
+    OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .map_err(|e| DurableError::io(path, e))
+}
+
+impl WalCore {
+    fn create(dir: PathBuf, config: WalConfig) -> Result<Self, DurableError> {
+        fs::create_dir_all(&dir).map_err(|e| DurableError::io(&dir, e))?;
+        // Never append to an existing segment: its final record may be torn, and
+        // bytes after a tear are unreachable. A fresh segment is always clean.
+        let existing = crate::segment::list_indices(&dir, parse_segment_index)?;
+        let segment_index = existing.last().map_or(0, |&last| last + 1);
+        let file = open_segment(&dir, segment_index)?;
+        Ok(Self {
+            dir,
+            config,
+            init: None,
+            segment_index,
+            file,
+            segment_bytes: 0,
+            tail: Vec::new(),
+            state: TailState::default(),
+            error: None,
+            instruments: None,
+            trace: None,
+        })
+    }
+
+    /// The latched append failure, re-synthesized (I/O errors are not `Clone`).
+    fn latched(&self) -> Option<DurableError> {
+        self.error.as_ref().map(|e| {
+            DurableError::io(
+                &self.dir,
+                std::io::Error::other(format!("earlier append failed: {e}")),
+            )
+        })
+    }
+
+    fn append_record(&mut self, record: &WalRecord) -> Result<(), DurableError> {
+        let payload = record.encode();
+        let written = write_frame(&mut self.file, &payload).map_err(|e| {
+            DurableError::io(self.dir.join(segment_file_name(self.segment_index)), e)
+        })?;
+        self.segment_bytes += written;
+        if let Some(instruments) = &self.instruments {
+            instruments.records.inc();
+            instruments.bytes.add(written);
+        }
+        Ok(())
+    }
+
+    fn rotate_to(&mut self, index: u64) -> Result<(), DurableError> {
+        let closed_bytes = self.segment_bytes;
+        self.file = open_segment(&self.dir, index)?;
+        self.segment_index = index;
+        self.segment_bytes = 0;
+        if let Some(instruments) = &self.instruments {
+            instruments.rotations.inc();
+        }
+        if let Some(trace) = &self.trace {
+            trace.emit(&TraceEvent::WalRotated {
+                segment: index,
+                bytes: closed_bytes,
+            });
+        }
+        Ok(())
+    }
+
+    /// The sink's append path: log, track, maybe rotate. Infallible — the first
+    /// failure is latched and everything after it is dropped (the log would have a
+    /// hole; better an explicit error at the next snapshot/`take_error`).
+    fn log_op(&mut self, op: TailOp) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.append_record(&op.to_record()) {
+            self.error = Some(e);
+            return;
+        }
+        self.state.observe(&op);
+        self.tail.push(op);
+        if self.segment_bytes >= self.config.max_segment_bytes {
+            if let Err(e) = self.rotate_to(self.segment_index + 1) {
+                self.error = Some(e);
+            }
+        }
+    }
+
+    fn attach(&mut self, init: InitRecord) -> Result<(), DurableError> {
+        if self.init.is_some() {
+            return Err(DurableError::AlreadyAttached);
+        }
+        if let Some(e) = self.latched() {
+            return Err(e);
+        }
+        self.append_record(&WalRecord::Init(init.clone()))?;
+        self.init = Some(init);
+        Ok(())
+    }
+
+    /// Ops still inside the replay horizon `H = max(1, 2 × max_window)`.
+    ///
+    /// Registrations and deregistrations are never pruned — they pin exact id
+    /// assignment and tombstones. An event batch is dropped only when its *last*
+    /// event is older than `last_ts − H` (so every event with `ts ≥ cutoff` survives:
+    /// its batch's last event is at least as new). Tenant batches prune against each
+    /// tenant's own `last_ts`, keeping the batch if any tenant still needs it.
+    fn pruned_tail(&self) -> Vec<TailOp> {
+        let horizon = self.state.max_window.saturating_mul(2).max(1);
+        self.tail
+            .iter()
+            .filter(|op| match op {
+                TailOp::Register { .. } | TailOp::Deregister { .. } => true,
+                TailOp::Batch(events) => {
+                    let cutoff = self
+                        .state
+                        .last_ts
+                        .map_or(0, |last| last.saturating_sub(horizon));
+                    events.last().is_some_and(|e| e.ts >= cutoff)
+                }
+                TailOp::TenantBatch(events) => events.iter().any(|te| {
+                    let last = self
+                        .state
+                        .tenant_last_ts
+                        .get(&te.tenant.0)
+                        .copied()
+                        .unwrap_or(0);
+                    te.event.ts >= last.saturating_sub(horizon)
+                }),
+            })
+            .cloned()
+            .collect()
+    }
+
+    fn snapshot(
+        &mut self,
+        expected: EngineKind,
+        floors: Vec<(u64, Vec<u64>)>,
+    ) -> Result<PathBuf, DurableError> {
+        if let Some(e) = self.latched() {
+            return Err(e);
+        }
+        let init = self.init.clone().ok_or_else(|| DurableError::MissingInit {
+            dir: self.dir.clone(),
+        })?;
+        if init.kind != expected {
+            return Err(DurableError::EngineMismatch {
+                expected,
+                found: init.kind,
+            });
+        }
+        self.tail = self.pruned_tail();
+        let header = SnapshotHeader {
+            init,
+            max_window: self.state.max_window,
+            last_ts: self.state.last_ts,
+            tenant_last_ts: self
+                .state
+                .tenant_last_ts
+                .iter()
+                .map(|(&t, &ts)| (t, ts))
+                .collect(),
+            floors,
+        };
+        // The snapshot takes the index of the segment the log rotates to: replay is
+        // "load snapshot N, then segments ≥ N". Writing the file before rotating is
+        // crash-safe in both gap windows — a crash before the rename leaves the old
+        // snapshot + full log, a crash before the rotation leaves a complete snapshot
+        // whose segment N is simply empty.
+        let new_index = self.segment_index + 1;
+        let (path, bytes, ops) = snapshot::write(&self.dir, new_index, &header, &self.tail)?;
+        self.rotate_to(new_index)?;
+        if let Some(instruments) = &self.instruments {
+            instruments.snapshots.inc();
+        }
+        if let Some(trace) = &self.trace {
+            trace.emit(&TraceEvent::SnapshotWritten {
+                segment: new_index,
+                bytes,
+                ops,
+            });
+        }
+        Ok(path)
+    }
+}
+
+/// A handle to a write-ahead log directory. Cheap to clone (the underlying state is
+/// shared); the engine holds the same state through its installed sink.
+#[derive(Clone)]
+pub struct Wal {
+    core: Arc<Mutex<WalCore>>,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let core = self.lock();
+        f.debug_struct("Wal")
+            .field("dir", &core.dir)
+            .field("segment_index", &core.segment_index)
+            .field("tail_ops", &core.tail.len())
+            .finish()
+    }
+}
+
+/// The [`DurabilitySink`] installed into the attached engine.
+struct WalSink {
+    core: Arc<Mutex<WalCore>>,
+}
+
+impl WalSink {
+    fn lock(&self) -> MutexGuard<'_, WalCore> {
+        self.core
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+impl DurabilitySink for WalSink {
+    fn record_register(
+        &mut self,
+        id: QueryId,
+        query: &CompiledQuery,
+        window: u64,
+        visible_from: u64,
+    ) {
+        self.lock().log_op(TailOp::Register {
+            id: id as u64,
+            window,
+            visible_from,
+            query: query.clone(),
+        });
+    }
+
+    fn record_deregister(&mut self, id: QueryId) {
+        self.lock().log_op(TailOp::Deregister { id: id as u64 });
+    }
+
+    fn record_events(&mut self, events: &[StreamEvent]) {
+        self.lock().log_op(TailOp::Batch(events.to_vec()));
+    }
+
+    fn record_tenant_events(&mut self, events: &[TenantedEvent]) {
+        self.lock().log_op(TailOp::TenantBatch(events.to_vec()));
+    }
+}
+
+impl Wal {
+    /// Opens (creating the directory if needed) a log at `dir`. Appends always go to
+    /// a fresh segment — existing segments are never extended, so prior torn bytes
+    /// can never swallow new records.
+    pub fn create(dir: impl Into<PathBuf>, config: WalConfig) -> Result<Self, DurableError> {
+        Ok(Self {
+            core: Arc::new(Mutex::new(WalCore::create(dir.into(), config)?)),
+        })
+    }
+
+    pub(crate) fn resume(
+        dir: PathBuf,
+        config: WalConfig,
+        init: InitRecord,
+        tail: Vec<TailOp>,
+        state: TailState,
+    ) -> Result<Self, DurableError> {
+        let mut core = WalCore::create(dir, config)?;
+        core.init = Some(init);
+        core.tail = tail;
+        core.state = state;
+        Ok(Self {
+            core: Arc::new(Mutex::new(core)),
+        })
+    }
+
+    fn lock(&self) -> MutexGuard<'_, WalCore> {
+        self.core
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> PathBuf {
+        self.lock().dir.clone()
+    }
+
+    pub(crate) fn sink(&self) -> Durability {
+        Durability::new(WalSink {
+            core: Arc::clone(&self.core),
+        })
+    }
+
+    /// Attaches this log to a [`Detector`]: writes the `Init` record and installs the
+    /// logging sink. Attach before registering queries or feeding events — only what
+    /// happens after attachment is recoverable. Fails with
+    /// [`DurableError::AlreadyAttached`] if the log already has an engine.
+    pub fn attach_detector(&self, detector: &mut Detector) -> Result<(), DurableError> {
+        self.lock().attach(InitRecord {
+            kind: EngineKind::Detector,
+            shards: 1,
+            groups: 1,
+            stats: Vec::new(),
+        })?;
+        detector.set_durability(Some(self.sink()));
+        Ok(())
+    }
+
+    /// Attaches this log to a [`ShardedDetector`]. `stats` must be the same
+    /// [`LabelPairStats`] the detector was built with — recovery rebuilds the shard
+    /// placement by re-running the greedy assignment under the same cost model.
+    pub fn attach_sharded(
+        &self,
+        detector: &mut ShardedDetector,
+        stats: &LabelPairStats,
+    ) -> Result<(), DurableError> {
+        self.lock().attach(InitRecord {
+            kind: EngineKind::Sharded,
+            shards: u32::try_from(detector.shard_count()).expect("shard count fits u32"),
+            groups: 1,
+            stats: stats.pair_counts(),
+        })?;
+        detector.set_durability(Some(self.sink()));
+        Ok(())
+    }
+
+    /// Attaches this log to a [`TenantPool`]. `stats` must match the pool's own.
+    pub fn attach_pool(
+        &self,
+        pool: &mut TenantPool,
+        stats: &LabelPairStats,
+    ) -> Result<(), DurableError> {
+        self.lock().attach(InitRecord {
+            kind: EngineKind::Pool,
+            shards: u32::try_from(pool.shards_per_tenant()).expect("shard count fits u32"),
+            groups: u32::try_from(pool.group_count()).expect("group count fits u32"),
+            stats: stats.pair_counts(),
+        })?;
+        pool.set_durability(Some(self.sink()));
+        Ok(())
+    }
+
+    /// Cuts a snapshot of the attached [`Detector`]'s recovery state and rotates to a
+    /// fresh segment; recovery then replays only the snapshot plus later segments.
+    /// Returns the snapshot file's path. Cadence is the caller's choice — every N
+    /// batches, on a timer, on tail growth; the log is complete without any snapshot.
+    pub fn snapshot_detector(&self, detector: &Detector) -> Result<PathBuf, DurableError> {
+        let floors = vec![(0, vec![detector.graph().visible_from()])];
+        self.lock().snapshot(EngineKind::Detector, floors)
+    }
+
+    /// [`Wal::snapshot_detector`], for a [`ShardedDetector`].
+    pub fn snapshot_sharded(&self, detector: &ShardedDetector) -> Result<PathBuf, DurableError> {
+        let floors = vec![(0, detector.shard_visible_floors())];
+        self.lock().snapshot(EngineKind::Sharded, floors)
+    }
+
+    /// [`Wal::snapshot_detector`], for a [`TenantPool`].
+    pub fn snapshot_pool(&self, pool: &TenantPool) -> Result<PathBuf, DurableError> {
+        let floors = pool
+            .tenant_visible_floors()
+            .into_iter()
+            .map(|(tenant, floors)| (tenant.0, floors))
+            .collect();
+        self.lock().snapshot(EngineKind::Pool, floors)
+    }
+
+    /// Registers the `durable.*` counters: `records_total`, `bytes_total`,
+    /// `rotations_total`, `snapshots_total`. Counting starts at the call.
+    pub fn instrument(&self, registry: &MetricsRegistry) {
+        self.lock().instruments = Some(WalInstruments {
+            records: registry.counter("durable.records_total"),
+            bytes: registry.counter("durable.bytes_total"),
+            rotations: registry.counter("durable.rotations_total"),
+            snapshots: registry.counter("durable.snapshots_total"),
+        });
+    }
+
+    /// Routes `wal_rotated` / `snapshot_written` trace events into `sink`.
+    pub fn set_trace_sink(&self, sink: SharedSink) {
+        self.lock().trace = Some(sink);
+    }
+
+    /// Takes the latched append failure, if any. Appends are infallible on the hot
+    /// path; this (and the next snapshot attempt) is where failures surface.
+    pub fn take_error(&self) -> Option<DurableError> {
+        self.lock().error.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::WalRecord;
+    use crate::segment::FrameReader;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use tgraph::Label;
+
+    pub(crate) fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        std::env::temp_dir().join(format!(
+            "durable-wal-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ))
+    }
+
+    fn event(ts: u64, src: usize, dst: usize) -> StreamEvent {
+        StreamEvent {
+            ts,
+            src,
+            dst,
+            src_label: Label(1),
+            dst_label: Label(2),
+        }
+    }
+
+    fn read_all_records(dir: &Path) -> Vec<WalRecord> {
+        let mut records = Vec::new();
+        for index in crate::segment::list_indices(dir, parse_segment_index).unwrap() {
+            let mut reader = FrameReader::open(dir.join(segment_file_name(index))).unwrap();
+            while let Some((_, payload)) = reader.next().unwrap() {
+                records.push(WalRecord::decode(&payload).unwrap());
+            }
+        }
+        records
+    }
+
+    #[test]
+    fn logs_init_then_ops_in_delivery_order() {
+        let dir = temp_dir("order");
+        let wal = Wal::create(&dir, WalConfig::default()).unwrap();
+        let mut detector = Detector::new();
+        wal.attach_detector(&mut detector).unwrap();
+        let reg = detector
+            .register(
+                CompiledQuery::NodeSet(tgminer::baselines::nodeset::NodeSetQuery {
+                    labels: vec![Label(1), Label(2)],
+                }),
+                10,
+            )
+            .unwrap();
+        let batch = [event(1, 0, 1), event(2, 2, 3)];
+        detector.on_batch(&batch).unwrap();
+        detector.deregister(reg.id).unwrap();
+
+        let records = read_all_records(&dir);
+        assert_eq!(records.len(), 4);
+        assert!(matches!(&records[0], WalRecord::Init(init) if init.kind == EngineKind::Detector));
+        assert!(matches!(
+            &records[1],
+            WalRecord::Register {
+                id: 0,
+                window: 10,
+                ..
+            }
+        ));
+        assert!(matches!(&records[2], WalRecord::Batch(events) if events.len() == 2));
+        assert!(matches!(&records[3], WalRecord::Deregister { id: 0 }));
+        assert!(wal.take_error().is_none());
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn rotates_segments_at_the_size_threshold() {
+        let dir = temp_dir("rotate");
+        let wal = Wal::create(
+            &dir,
+            WalConfig {
+                max_segment_bytes: 128,
+            },
+        )
+        .unwrap();
+        let mut detector = Detector::new();
+        wal.attach_detector(&mut detector).unwrap();
+        for ts in 1..=20 {
+            detector.on_batch(&[event(ts, 0, 1)]).unwrap();
+        }
+        let segments = crate::segment::list_indices(&dir, parse_segment_index).unwrap();
+        assert!(segments.len() > 1, "expected rotation, got {segments:?}");
+        // Records stay intact across the rotation boundary.
+        assert_eq!(read_all_records(&dir).len(), 21);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn a_second_attach_is_rejected() {
+        let dir = temp_dir("attach");
+        let wal = Wal::create(&dir, WalConfig::default()).unwrap();
+        let mut detector = Detector::new();
+        wal.attach_detector(&mut detector).unwrap();
+        let mut other = Detector::new();
+        assert!(matches!(
+            wal.attach_detector(&mut other),
+            Err(DurableError::AlreadyAttached)
+        ));
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn pruning_keeps_every_event_inside_the_horizon() {
+        let dir = temp_dir("prune");
+        let wal = Wal::create(&dir, WalConfig::default()).unwrap();
+        let mut detector = Detector::new();
+        wal.attach_detector(&mut detector).unwrap();
+        detector
+            .register(
+                CompiledQuery::NodeSet(tgminer::baselines::nodeset::NodeSetQuery {
+                    labels: vec![Label(1)],
+                }),
+                5,
+            )
+            .unwrap();
+        for ts in 1..=100 {
+            detector.on_batch(&[event(ts, 0, 1)]).unwrap();
+        }
+        let core = wal.lock();
+        let pruned = core.pruned_tail();
+        // Horizon is 2 × 5 = 10: the registration plus batches with last ts ≥ 90.
+        let batches = pruned
+            .iter()
+            .filter(|op| matches!(op, TailOp::Batch(_)))
+            .count();
+        assert_eq!(batches, 11);
+        assert!(pruned
+            .iter()
+            .any(|op| matches!(op, TailOp::Register { .. })));
+        drop(core);
+        fs::remove_dir_all(dir).unwrap();
+    }
+}

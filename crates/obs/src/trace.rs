@@ -88,6 +88,31 @@ pub enum TraceEvent {
         /// The configured budget.
         budget: u64,
     },
+    /// The write-ahead log rotated to a fresh segment file.
+    WalRotated {
+        /// Index of the segment the log rotated *to*.
+        segment: u64,
+        /// Bytes written to the segment the log rotated *away from*.
+        bytes: u64,
+    },
+    /// A durability snapshot was written and atomically installed.
+    SnapshotWritten {
+        /// Segment index the snapshot anchors to (replay resumes at this segment).
+        segment: u64,
+        /// Snapshot file size in bytes.
+        bytes: u64,
+        /// Replayable operations carried in the snapshot tail.
+        ops: u64,
+    },
+    /// Crash recovery finished rebuilding an engine from snapshot + log suffix.
+    RecoveryCompleted {
+        /// Log segments replayed after the snapshot.
+        segments: u64,
+        /// Log records replayed after the snapshot.
+        records: u64,
+        /// Live registered queries after recovery.
+        queries: u64,
+    },
 }
 
 impl TraceEvent {
@@ -102,6 +127,9 @@ impl TraceEvent {
             TraceEvent::PipelineStage { .. } => "pipeline_stage",
             TraceEvent::MiningLevel { .. } => "mining_level",
             TraceEvent::FrontierBudgetExhausted { .. } => "frontier_budget_exhausted",
+            TraceEvent::WalRotated { .. } => "wal_rotated",
+            TraceEvent::SnapshotWritten { .. } => "snapshot_written",
+            TraceEvent::RecoveryCompleted { .. } => "recovery_completed",
         }
     }
 
@@ -176,6 +204,28 @@ impl TraceEvent {
                 fields.push(("level".into(), Json::from_u64(*level as u64)));
                 fields.push(("candidates".into(), Json::from_u64(*candidates)));
                 fields.push(("budget".into(), Json::from_u64(*budget)));
+            }
+            TraceEvent::WalRotated { segment, bytes } => {
+                fields.push(("segment".into(), Json::from_u64(*segment)));
+                fields.push(("bytes".into(), Json::from_u64(*bytes)));
+            }
+            TraceEvent::SnapshotWritten {
+                segment,
+                bytes,
+                ops,
+            } => {
+                fields.push(("segment".into(), Json::from_u64(*segment)));
+                fields.push(("bytes".into(), Json::from_u64(*bytes)));
+                fields.push(("ops".into(), Json::from_u64(*ops)));
+            }
+            TraceEvent::RecoveryCompleted {
+                segments,
+                records,
+                queries,
+            } => {
+                fields.push(("segments".into(), Json::from_u64(*segments)));
+                fields.push(("records".into(), Json::from_u64(*records)));
+                fields.push(("queries".into(), Json::from_u64(*queries)));
             }
         }
         Json::Obj(fields)

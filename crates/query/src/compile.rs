@@ -17,7 +17,7 @@ use tgraph::{Label, TemporalGraph};
 
 /// A behavior query in the form the execution engines run: one of the three query types
 /// the offline search and the streaming detector support.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CompiledQuery {
     /// A temporal graph pattern (TGMiner): edge order must be respected.
     Temporal(TemporalPattern),

@@ -27,6 +27,7 @@
 //! in [`QueryTable`]; the sharded engine ([`crate::shard::ShardedDetector`]) partitions
 //! queries by giving each shard its own table and its own `Detector`.
 
+use crate::durability::Durability;
 use crate::error::{BatchError, DeregisterError, RegisterError};
 use crate::instrument::DetectorInstruments;
 use crate::registry::QueryTable;
@@ -115,6 +116,9 @@ pub struct Detector {
     instruments: Option<DetectorInstruments>,
     /// Attached lifecycle-event sink, if any (same inertness contract).
     sink: Option<SharedSink>,
+    /// Attached write-ahead recorder, if any (same inertness contract): inputs are
+    /// recorded, detections are never changed by attaching one.
+    durability: Option<Durability>,
     /// Eviction count already reported to the sink (delta tracking).
     traced_evictions: u64,
     /// Rolling event index for latency sampling (instrumented batches only).
@@ -156,6 +160,7 @@ impl Detector {
             dropped_branches: 0,
             instruments: None,
             sink: None,
+            durability: None,
             traced_evictions: 0,
             sample_tick: 0,
         }
@@ -174,6 +179,22 @@ impl Detector {
     pub fn set_trace_sink(&mut self, sink: Option<SharedSink>) {
         self.sink = sink;
         self.traced_evictions = self.graph.evicted_count();
+    }
+
+    /// Attaches (or with `None` detaches) a durability recorder. Registrations and
+    /// event batches from this call on are recorded (see [`crate::durability`] for the
+    /// ordering discipline); attach *before* registering queries so the log carries
+    /// the full input history. Recording is inert: detections are identical with and
+    /// without it.
+    pub fn set_durability(&mut self, durability: Option<Durability>) {
+        self.durability = durability;
+    }
+
+    /// Restores a visibility floor recorded from a previous process (crash recovery):
+    /// [`IncrementalGraph::visible_from`] reports at least `floor` afterwards, even if
+    /// the replayed history never re-triggered the eviction that originally set it.
+    pub fn restore_visible_floor(&mut self, floor: u64) {
+        self.graph.restore_visible_floor(floor);
     }
 
     /// Estimated memory footprint of the detector's mutable state, bytes: the
@@ -223,6 +244,11 @@ impl Detector {
             },
         };
         let id = self.queries.register(query, window)?;
+        if let Some(durability) = &mut self.durability {
+            let registered = self.queries.get(id);
+            let (query, window) = (registered.query().clone(), registered.window());
+            durability.record_register(id, &query, window, visible_from);
+        }
         // Only static (`Ntemp`) matches read the buffered window — temporal and keyword
         // runs carry their own state — so retention is twice the largest *static*
         // window: anchors need `window - 1` of look-back still buffered when their
@@ -254,6 +280,9 @@ impl Detector {
     /// a typed [`DeregisterError`].
     pub fn deregister(&mut self, id: QueryId) -> Result<(), DeregisterError> {
         self.queries.remove(id)?;
+        if let Some(durability) = &mut self.durability {
+            durability.record_deregister(id);
+        }
         // Cancelled state is dropped without touching `dropped_branches`: that counter
         // means "capped, possibly missed detections", while cancellation is deliberate.
         self.temporal_runs.retain(|(query, _)| *query != id);
@@ -286,6 +315,9 @@ impl Detector {
     /// (timestamps must be non-decreasing; equal timestamps are ordered by arrival)
     /// or it relabels a known node.
     pub fn on_event(&mut self, event: StreamEvent) -> Result<Vec<Detection>, GraphError> {
+        if let Some(durability) = &mut self.durability {
+            durability.record_events(std::slice::from_ref(&event));
+        }
         if self.instruments.is_none() && self.sink.is_none() {
             return self.process_event(event);
         }
@@ -360,6 +392,12 @@ impl Detector {
     /// stays in the state produced by the valid prefix, so the caller may repair or
     /// skip the offending event and keep streaming.
     pub fn on_batch(&mut self, events: &[StreamEvent]) -> Result<Vec<Detection>, BatchError> {
+        // Log-before-apply: the full batch is recorded even if an event mid-batch
+        // turns out invalid — replay re-runs the same batch and fails at the same
+        // index, leaving the replayed engine in the same valid-prefix state.
+        if let Some(durability) = &mut self.durability {
+            durability.record_events(events);
+        }
         if self.instruments.is_none() && self.sink.is_none() {
             // The plain path: one `Option` branch for the whole batch, then exactly
             // the pre-instrumentation loop.

@@ -1,0 +1,155 @@
+//! The durability seam: engines report the *inputs* that determine their state to an
+//! attached [`DurabilitySink`] before applying them, so an append-only log of those
+//! inputs is sufficient to rebuild the engine by deterministic replay.
+//!
+//! This module deliberately holds only the trait and the [`Durability`] handle — the
+//! write-ahead log, snapshot, and recovery machinery live in the `durable` crate,
+//! which depends on `stream` (not the other way around). The contract mirrors
+//! [`crate::instrument`]: engines hold an `Option<Durability>` that is `None` by
+//! default, the uninstrumented hot path pays exactly one `Option` branch, and
+//! attaching a sink never changes detection behavior.
+//!
+//! Ordering discipline (what makes replay exact):
+//!
+//! * event batches are recorded **before** the engine applies them — a crash between
+//!   the append and the apply loses nothing, because replay re-applies the batch and
+//!   the engine is deterministic (including its mid-batch error behavior: the log
+//!   carries the full batch, live and replayed runs both keep the valid prefix);
+//! * registrations/deregistrations are recorded **after** the engine accepts them,
+//!   because the assigned [`QueryId`] and look-back floor are part of the record — a
+//!   rejected registration never reaches the log.
+
+use crate::detector::QueryId;
+use query::compile::CompiledQuery;
+use tgraph::{StreamEvent, TenantedEvent};
+
+/// A receiver for the replayable input stream of a detection engine.
+///
+/// Implementations must be infallible from the engine's point of view: I/O errors are
+/// latched inside the sink (see `durable::Wal::take_error`) rather than surfaced on
+/// the hot path. `Send` because engines holding a sink move across threads.
+pub trait DurabilitySink: Send {
+    /// A query was registered and assigned `id`. `visible_from` is the registration's
+    /// original look-back floor — recovery must surface *this* value, not whatever
+    /// floor the replayed (possibly history-pruned) graph would recompute.
+    fn record_register(
+        &mut self,
+        id: QueryId,
+        query: &CompiledQuery,
+        window: u64,
+        visible_from: u64,
+    );
+
+    /// The query with `id` was deregistered.
+    fn record_deregister(&mut self, id: QueryId);
+
+    /// A batch of single-stream events is about to be applied.
+    fn record_events(&mut self, events: &[StreamEvent]);
+
+    /// A batch of tenant-tagged events is about to be applied (pool-level engines).
+    fn record_tenant_events(&mut self, events: &[TenantedEvent]);
+}
+
+/// An attached durability sink, held by `Detector`/`ShardedDetector`/`TenantPool`.
+///
+/// A newtype over `Box<dyn DurabilitySink>` (like [`obs::SharedSink`] wraps trace
+/// sinks) so engine structs keep deriving `Debug`. Attach at the **top level only**:
+/// a sharded detector or tenant pool records once for the whole engine; its inner
+/// per-shard detectors stay sink-free, otherwise every input would be logged twice.
+pub struct Durability(Box<dyn DurabilitySink>);
+
+impl Durability {
+    /// Wraps a sink for attachment via `set_durability`.
+    pub fn new(sink: impl DurabilitySink + 'static) -> Self {
+        Self(Box::new(sink))
+    }
+
+    /// Forwards a registration record.
+    #[inline]
+    pub fn record_register(
+        &mut self,
+        id: QueryId,
+        query: &CompiledQuery,
+        window: u64,
+        visible_from: u64,
+    ) {
+        self.0.record_register(id, query, window, visible_from);
+    }
+
+    /// Forwards a deregistration record.
+    #[inline]
+    pub fn record_deregister(&mut self, id: QueryId) {
+        self.0.record_deregister(id);
+    }
+
+    /// Forwards an event-batch record.
+    #[inline]
+    pub fn record_events(&mut self, events: &[StreamEvent]) {
+        self.0.record_events(events);
+    }
+
+    /// Forwards a tenant-batch record.
+    #[inline]
+    pub fn record_tenant_events(&mut self, events: &[TenantedEvent]) {
+        self.0.record_tenant_events(events);
+    }
+}
+
+impl std::fmt::Debug for Durability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Durability(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+    use tgraph::Label;
+
+    /// A sink that counts record calls, for wiring tests.
+    #[derive(Default)]
+    struct CountingSink {
+        counts: Arc<Mutex<[usize; 4]>>,
+    }
+
+    impl DurabilitySink for CountingSink {
+        fn record_register(&mut self, _: QueryId, _: &CompiledQuery, _: u64, _: u64) {
+            self.counts.lock().unwrap()[0] += 1;
+        }
+        fn record_deregister(&mut self, _: QueryId) {
+            self.counts.lock().unwrap()[1] += 1;
+        }
+        fn record_events(&mut self, events: &[StreamEvent]) {
+            self.counts.lock().unwrap()[2] += events.len();
+        }
+        fn record_tenant_events(&mut self, events: &[TenantedEvent]) {
+            self.counts.lock().unwrap()[3] += events.len();
+        }
+    }
+
+    #[test]
+    fn handle_forwards_every_record_kind() {
+        let sink = CountingSink::default();
+        let counts = sink.counts.clone();
+        let mut durability = Durability::new(sink);
+        let query = CompiledQuery::NodeSet(tgminer::baselines::nodeset::NodeSetQuery {
+            labels: vec![Label(1)],
+        });
+        durability.record_register(0, &query, 5, 0);
+        durability.record_deregister(0);
+        let event = StreamEvent {
+            ts: 1,
+            src: 0,
+            dst: 1,
+            src_label: Label(1),
+            dst_label: Label(2),
+        };
+        durability.record_events(&[event, event]);
+        durability.record_tenant_events(&[TenantedEvent {
+            tenant: tgraph::TenantId(7),
+            event,
+        }]);
+        assert_eq!(*counts.lock().unwrap(), [1, 1, 2, 1]);
+    }
+}

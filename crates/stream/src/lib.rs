@@ -61,6 +61,7 @@
 
 pub mod detector;
 pub mod discovery;
+pub mod durability;
 pub mod error;
 pub mod instrument;
 pub mod registry;
@@ -72,6 +73,7 @@ pub use discovery::{
     evaluate_deployed, macro_average, retire_deployed, ClassAccuracy, DeployedQuery,
     DiscoveryError, DiscoveryPipeline, DiscoveryReport,
 };
+pub use durability::{Durability, DurabilitySink};
 pub use error::{BatchError, DeregisterError, RegisterError, TenantBatchError};
 pub use instrument::{DetectorInstruments, PipelineInstruments};
 pub use registry::{QueryTable, Registered};

@@ -40,6 +40,7 @@
 //! the same intervals.
 
 use crate::detector::{CompiledQuery, Detection, Detector, QueryId, Registration, SeedKey};
+use crate::durability::Durability;
 use crate::error::{BatchError, DeregisterError, RegisterError};
 use crate::instrument::DetectorInstruments;
 use obs::{MetricsRegistry, ShardStat, SharedSink, TraceEvent};
@@ -92,6 +93,26 @@ impl LabelPairStats {
         if src != dst {
             *self.per_label.entry(dst).or_default() += count;
         }
+    }
+
+    /// The observed pair frequencies, sorted by pair — the serializable form of the
+    /// cost model. [`LabelPairStats::from_pair_counts`] rebuilds an identical stats
+    /// object from it (the per-label marginals are re-derived), which is what makes
+    /// query→shard placement reproducible across a crash.
+    pub fn pair_counts(&self) -> Vec<((Label, Label), u64)> {
+        let mut pairs: Vec<_> = self.pairs.iter().map(|(&k, &v)| (k, v)).collect();
+        pairs.sort_unstable();
+        pairs
+    }
+
+    /// Rebuilds a stats object from serialized pair frequencies; the inverse of
+    /// [`LabelPairStats::pair_counts`].
+    pub fn from_pair_counts(pairs: impl IntoIterator<Item = ((Label, Label), u64)>) -> Self {
+        let mut stats = Self::default();
+        for ((src, dst), count) in pairs {
+            stats.add(src, dst, count);
+        }
+        stats
     }
 
     /// Observed frequency of a label pair, floored at 1 (unseen pairs still cost
@@ -204,6 +225,10 @@ pub struct ShardedDetector {
     sink: Option<SharedSink>,
     /// Per-shard `evicted_count` at the last trace emission, for eviction deltas.
     last_evicted: Vec<u64>,
+    /// Pool-level write-ahead recorder: registrations carry *global* ids and batches
+    /// are recorded once for the whole pool, so the per-shard detectors stay
+    /// recorder-free (no input is logged twice).
+    durability: Option<Durability>,
 }
 
 impl ShardedDetector {
@@ -241,6 +266,39 @@ impl ShardedDetector {
             parallel: std::thread::available_parallelism().map_or(1, |n| n.get()) > 1,
             sink: None,
             last_evicted: vec![0; shards],
+            durability: None,
+        }
+    }
+
+    /// Attaches (or with `None` detaches) a pool-level durability recorder. Attach
+    /// *before* registering queries so the log carries the full input history.
+    /// Recording is inert: detections are identical with and without it.
+    pub fn set_durability(&mut self, durability: Option<Durability>) {
+        self.durability = durability;
+    }
+
+    /// Per-shard visibility floors ([`IncrementalGraph::visible_from`]), in shard
+    /// order — recorded into snapshots so recovery can restore them exactly.
+    pub fn shard_visible_floors(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|shard| shard.detector.graph().visible_from())
+            .collect()
+    }
+
+    /// Restores per-shard visibility floors recorded by
+    /// [`ShardedDetector::shard_visible_floors`] in a previous process.
+    ///
+    /// # Panics
+    /// Panics if `floors` does not have one entry per shard.
+    pub fn restore_shard_visible_floors(&mut self, floors: &[u64]) {
+        assert_eq!(
+            floors.len(),
+            self.shards.len(),
+            "one recorded floor per shard"
+        );
+        for (shard, &floor) in self.shards.iter_mut().zip(floors) {
+            shard.detector.restore_visible_floor(floor);
         }
     }
 
@@ -380,6 +438,11 @@ impl ShardedDetector {
             active: true,
         });
         self.loads[shard_idx] += cost;
+        if let Some(durability) = &mut self.durability {
+            let registered = self.shards[shard_idx].detector.queries().get(local.id);
+            let (query, window) = (registered.query().clone(), registered.window());
+            durability.record_register(id, &query, window, local.visible_from);
+        }
         if let Some(sink) = &self.sink {
             sink.emit(&TraceEvent::QueryRegistered {
                 query: format!("q{id}"),
@@ -408,6 +471,9 @@ impl ShardedDetector {
             .deregister(placement.local)?;
         self.placements[query].active = false;
         self.loads[placement.shard] -= placement.cost;
+        if let Some(durability) = &mut self.durability {
+            durability.record_deregister(query);
+        }
         if let Some(sink) = &self.sink {
             sink.emit(&TraceEvent::QueryDeregistered {
                 query: format!("q{query}"),
@@ -446,6 +512,10 @@ impl ShardedDetector {
     /// index, and the returned [`BatchError`] carries the merged detections of the
     /// valid prefix.
     pub fn on_batch(&mut self, events: &[StreamEvent]) -> Result<Vec<Detection>, BatchError> {
+        // Log-before-apply, once for the whole pool (shards all see the same batch).
+        if let Some(durability) = &mut self.durability {
+            durability.record_events(events);
+        }
         let results: Vec<Result<Vec<Detection>, BatchError>> =
             if !self.parallel || self.shards.len() == 1 || events.len() < PARALLEL_BATCH_MIN {
                 // A pool of one, a single-core machine (threads would only serialise),

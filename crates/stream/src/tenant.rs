@@ -47,6 +47,7 @@
 //! yet).
 
 use crate::detector::{CompiledQuery, QueryId, Registration};
+use crate::durability::Durability;
 use crate::error::{DeregisterError, RegisterError, TenantBatchError};
 use crate::registry::QueryTable;
 use crate::shard::{LabelPairStats, ShardedDetector, PARALLEL_BATCH_MIN};
@@ -226,6 +227,9 @@ pub struct TenantPool {
     /// Mirrors `ShardedDetector`: group fan-out only pays for threads on multi-core
     /// machines and large batches.
     parallel: bool,
+    /// Pool-level write-ahead recorder: operations and tenant batches are recorded
+    /// once at the demux front-end; per-tenant detectors stay recorder-free.
+    durability: Option<Durability>,
 }
 
 impl TenantPool {
@@ -254,6 +258,46 @@ impl TenantPool {
             journal: Vec::new(),
             groups: (0..groups).map(|_| Group::new()).collect(),
             parallel: std::thread::available_parallelism().map_or(1, |n| n.get()) > 1,
+            durability: None,
+        }
+    }
+
+    /// Attaches (or with `None` detaches) a pool-level durability recorder. Attach
+    /// *before* registering queries so the log carries the full input history.
+    /// Recording is inert: detections are identical with and without it.
+    pub fn set_durability(&mut self, durability: Option<Durability>) {
+        self.durability = durability;
+    }
+
+    /// Per-tenant, per-shard visibility floors for every materialised tenant, in
+    /// (group, tenant) order — recorded into snapshots so recovery can restore them.
+    pub fn tenant_visible_floors(&self) -> Vec<(TenantId, Vec<u64>)> {
+        self.groups
+            .iter()
+            .flat_map(|group| {
+                group
+                    .tenants
+                    .iter()
+                    .map(|(tenant, detector)| (*tenant, detector.shard_visible_floors()))
+            })
+            .collect()
+    }
+
+    /// Restores per-tenant visibility floors recorded by
+    /// [`TenantPool::tenant_visible_floors`] in a previous process. Tenants that have
+    /// not re-materialised during replay are created first (journal replay), so a
+    /// tenant that went quiet before the snapshot still reports its original floors.
+    pub fn restore_tenant_visible_floors(&mut self, floors: &[(TenantId, Vec<u64>)]) {
+        for (tenant, shard_floors) in floors {
+            self.ensure_tenant(*tenant);
+            let group = &mut self.groups[self.router.group_of(*tenant)];
+            let idx = group
+                .tenants
+                .binary_search_by_key(tenant, |(t, _)| *t)
+                .expect("ensure_tenant materialised the tenant");
+            group.tenants[idx]
+                .1
+                .restore_shard_visible_floors(shard_floors);
         }
     }
 
@@ -363,6 +407,9 @@ impl TenantPool {
                 visible_from = visible_from.max(registration.visible_from);
             }
         }
+        if let Some(durability) = &mut self.durability {
+            durability.record_register(id, &query, window, visible_from);
+        }
         Ok(Registration { id, visible_from })
     }
 
@@ -374,6 +421,9 @@ impl TenantPool {
     pub fn deregister(&mut self, query: QueryId) -> Result<(), DeregisterError> {
         self.canonical.remove(query)?;
         self.journal.push(JournalOp::Deregister(query));
+        if let Some(durability) = &mut self.durability {
+            durability.record_deregister(query);
+        }
         for group in &mut self.groups {
             for (_, detector) in &mut group.tenants {
                 detector
@@ -430,6 +480,10 @@ impl TenantPool {
         &mut self,
         events: &[TenantedEvent],
     ) -> Result<Vec<TenantDetection>, TenantBatchError> {
+        // Log-before-apply, once at the demux front-end.
+        if let Some(durability) = &mut self.durability {
+            durability.record_tenant_events(events);
+        }
         // Demux into per-group workloads, preserving arrival order per tenant and
         // remembering each event's global batch index for error attribution.
         let mut workloads: Vec<Vec<TenantWorkload>> =

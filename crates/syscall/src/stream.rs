@@ -97,6 +97,23 @@ impl StreamSource {
         Self::from_graph(&data.graph, batch_size)
     }
 
+    /// A stream over explicit events in their given order — the re-ingest path for
+    /// captured histories, e.g. `durable::read_logged_events` pulling a write-ahead
+    /// log back into a replayable stream.
+    ///
+    /// # Panics
+    /// Panics if `batch_size` is zero.
+    pub fn from_events(events: Vec<StreamEvent>, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Self {
+            events,
+            batch_size,
+            cursor: 0,
+            delivered: None,
+            delivered_run: 0,
+        }
+    }
+
     /// The configured batch size.
     pub fn batch_size(&self) -> usize {
         self.batch_size
@@ -290,6 +307,20 @@ impl TenantedStreamSource {
             .map(|(i, trace)| (TenantId(i as u64), trace.events.clone()))
             .collect();
         Self::merged(streams, batch_size)
+    }
+
+    /// A stream over explicit tenant-tagged events in their given interleaving — the
+    /// multi-tenant re-ingest path (e.g. `durable::read_logged_tenant_events`). The
+    /// tenant count is the number of distinct tenant ids present.
+    ///
+    /// # Panics
+    /// Panics if `batch_size` is zero.
+    pub fn from_tenanted_events(events: Vec<TenantedEvent>, batch_size: usize) -> Self {
+        let mut tenants: Vec<u64> = events.iter().map(|e| e.tenant.0).collect();
+        tenants.sort_unstable();
+        tenants.dedup();
+        let count = tenants.len();
+        Self::new(events, batch_size, count)
     }
 
     /// Number of tenants the source was built from (including event-less ones).
@@ -647,6 +678,29 @@ mod tests {
         let a: Vec<TenantedEvent> = source.batches().flatten().copied().collect();
         let b: Vec<TenantedEvent> = again.batches().flatten().copied().collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn explicit_event_sources_replay_verbatim() {
+        let data = TestData::generate(&TestDataConfig::tiny(), LabelInterner::new());
+        let events = events_of_graph(&data.graph);
+        let source = StreamSource::from_events(events.clone(), 71);
+        assert_eq!(source.len(), events.len());
+        let replayed: Vec<StreamEvent> = source.batches().flatten().copied().collect();
+        assert_eq!(replayed, events);
+
+        let tenanted: Vec<TenantedEvent> = events
+            .iter()
+            .enumerate()
+            .map(|(i, &event)| TenantedEvent {
+                tenant: TenantId((i % 3) as u64),
+                event,
+            })
+            .collect();
+        let source = TenantedStreamSource::from_tenanted_events(tenanted.clone(), 71);
+        assert_eq!(source.tenant_count(), 3);
+        let replayed: Vec<TenantedEvent> = source.batches().flatten().copied().collect();
+        assert_eq!(replayed, tenanted);
     }
 
     #[test]

@@ -366,6 +366,23 @@ impl IncrementalGraph {
         }
     }
 
+    /// Restores the visibility floor recorded from another graph (crash recovery):
+    /// evicts anything at or below `floor - 1` and then ratchets `evicted_through`
+    /// directly, so [`Self::visible_from`] reports `floor` even when no live edge was
+    /// actually evicted (replaying a pruned history may never touch the stale range,
+    /// which would leave `evict_up_to` a no-op).
+    pub fn restore_visible_floor(&mut self, floor: u64) {
+        if floor == 0 {
+            return;
+        }
+        let threshold = floor - 1;
+        self.evict_up_to(threshold);
+        self.evicted_through = Some(
+            self.evicted_through
+                .map_or(threshold, |prev| prev.max(threshold)),
+        );
+    }
+
     /// Drops the dead prefix of the backing array and trims postings to live entries.
     fn compact(&mut self) {
         self.compacted += self.live_start as u64;

@@ -219,6 +219,31 @@ impl TemporalPattern {
         next_expected == self.labels.len()
     }
 
+    /// Rebuilds a pattern from its raw parts (labels + ordered edges), validating the
+    /// canonical first-visit numbering and T-connectivity. This is the deserialization
+    /// counterpart of [`Self::labels`]/[`Self::edges`]: a pattern round-trips through
+    /// `from_parts(p.labels().to_vec(), p.edges().to_vec())` unchanged.
+    ///
+    /// Returns [`GraphError::EmptyGraph`] for an empty edge/label list and
+    /// [`GraphError::DisconnectedGrowth`] when the parts are not a canonical
+    /// T-connected pattern (e.g. decoded from corrupt bytes).
+    pub fn from_parts(labels: Vec<Label>, edges: Vec<PatternEdge>) -> Result<Self, GraphError> {
+        if labels.is_empty() || edges.is_empty() {
+            return Err(GraphError::EmptyGraph);
+        }
+        if edges
+            .iter()
+            .any(|e| e.src >= labels.len() || e.dst >= labels.len())
+        {
+            return Err(GraphError::DisconnectedGrowth);
+        }
+        let pattern = Self { labels, edges };
+        if !pattern.is_canonical() {
+            return Err(GraphError::DisconnectedGrowth);
+        }
+        Ok(pattern)
+    }
+
     /// Builds the canonical pattern equivalent (`=t`) to an arbitrary temporal graph,
     /// renumbering nodes by first-visit order and aligning timestamps to `1..=|E|`.
     ///

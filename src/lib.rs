@@ -12,12 +12,16 @@
 //! * [`query`] — behavior-query formulation, search over monitoring graphs, evaluation.
 //! * [`stream`] — the online streaming detection engine: registered behavior queries
 //!   matched as events arrive, consistent with the offline search.
+//! * [`durable`] — write-ahead logging and snapshots for the detection engines:
+//!   crash recovery rebuilds a detector whose future detections are identical to an
+//!   uninterrupted run.
 //! * [`obs`] — zero-dependency observability: metrics registry (counters, gauges,
 //!   log-scale histograms), structured trace sinks, and the versioned benchmark
 //!   report schema.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
 
+pub use durable;
 pub use obs;
 pub use query;
 pub use stream;
