@@ -11,9 +11,15 @@
 //! (`pipeline.{ingest,mine,compile,register,evaluate}_ns`), per-growth-level mining
 //! counters (`miner.level<N>.*`), and per-shard detector metrics feed the
 //! machine-readable `BENCH_e2e_accuracy_<scale>.json` artifact (schema
-//! `bench-report/v1`), whose `extra.stages` carries the stage breakdown. Set
-//! `BQ_TRACE=1` to additionally stream structured lifecycle events to stderr as JSON
-//! lines.
+//! `bench-report/v1`), whose `extra.stages` carries the stage breakdown. The detector
+//! additionally carries a scoped-span [`obs::Profiler`] and per-query cost
+//! attribution: every deployed query's measured cost is exported as
+//! `query.<id>.*` counters and embedded under `extra.query_costs`, and the report's
+//! latency percentiles come from the merged per-shard sampled per-event histograms.
+//! Set `BQ_TRACE=1` to additionally stream structured lifecycle events to stderr as
+//! JSON lines, and `BQ_FLAMEGRAPH=<path>` to dump the profiler's collapsed-stack
+//! span aggregate (one `path self_ns` line per span path — feed it to any
+//! flamegraph renderer).
 //!
 //! Scale via `BQ_SCALE` (`tiny`/`small`/`paper`); shard count via `BQ_SHARDS`
 //! (default 2); artifact directory via `BQ_BENCH_DIR`. Exits non-zero when the dataset
@@ -21,7 +27,10 @@
 //! fail instead of printing 0/0 artifacts.
 
 use bench::{pct, print_header, print_row, test_data, training_data, write_bench_report, Scale};
-use obs::{BenchReport, Json, LatencySummary, MetricsRegistry, SharedSink, StderrSink};
+use obs::{
+    BenchReport, HistogramSnapshot, Json, LatencySummary, MetricsRegistry, Profiler, SharedSink,
+    StderrSink,
+};
 use query::QueryOptions;
 use std::time::Instant;
 use stream::{evaluate_deployed, macro_average, DiscoveryPipeline, ShardedDetector};
@@ -108,6 +117,11 @@ fn main() {
     );
     let mut detector = ShardedDetector::with_stats(shards, pipeline.stats().clone());
     detector.instrument(&registry);
+    // Full observability: scoped spans + cost attribution at interval 1 (every
+    // operation timed), so every deployed query reports a non-zero measured cost.
+    let profiler = Profiler::new();
+    detector.set_profiler(Some(profiler.clone()));
+    detector.enable_cost_attribution(1);
     if tracing {
         detector.set_trace_sink(Some(SharedSink::new(StderrSink)));
     }
@@ -185,10 +199,17 @@ fn main() {
     );
 
     // ---- Report: the machine-readable artifact. -------------------------------------
+    // Export per-query measured costs as `query.<id>.*` counters before snapshotting,
+    // so the attribution series and the detector series land in one registry.
+    let cost_report = detector
+        .query_cost_report()
+        .expect("attribution was enabled");
+    cost_report.export(&registry);
     let snapshot = registry.snapshot();
     let shard_stats = detector.shard_stats();
     let mut memory_high_water = 0u64;
     let mut retained_high_water = 0u64;
+    let mut event_latency: Option<HistogramSnapshot> = None;
     for shard in 0..shards {
         if let Some((_, hw)) = snapshot.gauge(&format!("detector.shard{shard}.memory_bytes")) {
             memory_high_water += hw;
@@ -196,6 +217,26 @@ fn main() {
         if let Some((_, hw)) = snapshot.gauge(&format!("detector.shard{shard}.retained_edges")) {
             retained_high_water += hw;
         }
+        if let Some(h) = snapshot.histogram(&format!("detector.shard{shard}.event_latency_ns")) {
+            match &mut event_latency {
+                Some(merged) => merged.merge(h),
+                None => event_latency = Some(h.clone()),
+            }
+        }
+    }
+    // The profiler's collapsed-stack aggregate: dump on request for flamegraph
+    // rendering (`flamegraph.pl --countname=ns` or any compatible tool).
+    if let Some(path) = std::env::var_os("BQ_FLAMEGRAPH") {
+        let collapsed = profiler.snapshot().render_collapsed();
+        if let Err(error) = std::fs::write(&path, &collapsed) {
+            eprintln!("[e2e] failed to write flamegraph dump: {error}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[e2e] wrote collapsed-stack profile ({} span paths) to {}",
+            collapsed.lines().count(),
+            std::path::Path::new(&path).display()
+        );
     }
     let events = test.graph.edge_count() as u64;
     let mut report = BenchReport::new("e2e_accuracy", scale.name());
@@ -203,15 +244,15 @@ fn main() {
     report.detections = shard_stats.iter().map(|s| s.detections).sum();
     report.elapsed_ns = streaming_elapsed.as_nanos() as u64;
     report.events_per_sec = events as f64 / streaming_elapsed.as_secs_f64();
-    report.latency = snapshot
-        .histogram("detector.shard0.batch_latency_ns")
+    report.latency = event_latency
         .filter(|h| h.count > 0)
-        .map(LatencySummary::from_histogram)
+        .map(|h| LatencySummary::from_histogram(&h))
         .unwrap_or_default();
     report.memory_high_water_bytes = memory_high_water;
     report.retained_edges = retained_high_water;
     report.shards = shard_stats;
     report.extra = vec![
+        ("query_costs".into(), cost_report.to_json()),
         (
             "stages".into(),
             Json::Obj(

@@ -11,10 +11,18 @@
 //!
 //! Every sweep row runs with full instrumentation attached (per-shard
 //! [`stream::DetectorInstruments`] plus a bench-side batch-latency histogram); the
-//! primary configuration additionally runs once *uninstrumented* so the report carries
-//! the measured instrumentation overhead. The machine-readable result is written as
-//! `BENCH_stream_throughput_<scale>.json` (schema `bench-report/v1`; the committed
-//! artifact is the tiny-scale run) with the full sweep under `extra.sweep`.
+//! report's primary latency percentiles come from the *merged per-shard sampled
+//! per-event histograms* (one sample every 16 events), so p50/p95/p99 summarise a
+//! real latency distribution rather than one whole-run number. The primary
+//! configuration additionally runs bare (pricing the metrics under
+//! `extra.overhead_pct`) and profiled — scoped-span profiler plus per-query cost
+//! attribution — pricing the full observability stack under
+//! `extra.profiling_overhead_pct`. A dedicated attributed run publishes its
+//! [`obs::QueryCostReport`] under `extra.query_costs` and demonstrates
+//! measured-cost shard rebalancing under `extra.measured_rebalance`. The
+//! machine-readable result is written as `BENCH_stream_throughput_<scale>.json`
+//! (schema `bench-report/v1`; the committed artifact is the tiny-scale run) with
+//! the full sweep under `extra.sweep`.
 //!
 //! A second sweep covers the *tenant* axis: the test graph is replicated across N
 //! tenants, round-robin interleaved (cross-tenant timestamp collisions by
@@ -25,11 +33,30 @@
 //! `BQ_SCALE` selects the dataset size, `BQ_BENCH_DIR` the artifact directory.
 
 use bench::{print_header, print_row, secs, test_data, training_data, write_bench_report, Scale};
-use obs::{BenchReport, Json, LatencySummary, MetricsRegistry, ShardStat, TenantGroupStat};
+use obs::{
+    BenchReport, HistogramSnapshot, Json, LatencySummary, MetricsRegistry, Profiler, ShardStat,
+    TenantGroupStat,
+};
 use query::{formulate_queries, QueryOptions};
 use std::time::{Duration, Instant};
-use stream::{CompiledQuery, LabelPairStats, ShardedDetector, TenantPool};
+use stream::{CompiledQuery, LabelPairStats, MeasuredCost, ShardedDetector, TenantPool};
 use syscall::{Behavior, StreamSource, TenantedStreamSource};
+
+/// How much observability a measurement run carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Nothing attached: the raw hot path.
+    Bare,
+    /// Per-shard metric instruments (the sweep default).
+    Instrumented,
+    /// Instruments + scoped-span profiler + per-query cost attribution: the full
+    /// observability stack, priced by `extra.profiling_overhead_pct`.
+    Profiled,
+}
+
+/// Cost-attribution sampling interval used by profiled runs (1 timed operation in 64;
+/// counters stay exact).
+const ATTRIBUTION_INTERVAL: u64 = 64;
 
 /// One sweep configuration's measured result.
 struct RunResult {
@@ -41,7 +68,8 @@ struct RunResult {
     memory_high_water: u64,
     /// Sum of per-shard retained-edge high-water marks (0 uninstrumented).
     retained_high_water: u64,
-    /// Pool-level per-batch latency (empty uninstrumented).
+    /// Sampled per-event latency, merged across every shard's histogram (empty
+    /// uninstrumented).
     latency: LatencySummary,
     /// Always-on per-shard event/detection/query/load breakdown.
     shard_stats: Vec<ShardStat>,
@@ -54,12 +82,17 @@ fn run_config(
     window: u64,
     queries: usize,
     shards: usize,
-    instrumented: bool,
+    mode: Mode,
 ) -> RunResult {
     let registry = MetricsRegistry::new();
     let mut detector = ShardedDetector::with_stats(shards, stats.clone());
+    let instrumented = mode != Mode::Bare;
     if instrumented {
         detector.instrument(&registry);
+    }
+    if mode == Mode::Profiled {
+        detector.set_profiler(Some(Profiler::new()));
+        detector.enable_cost_attribution(ATTRIBUTION_INTERVAL);
     }
     // Cycle the mined pool (with per-cycle window variation) up to the target
     // registration count — many registered queries per label pair is exactly the load
@@ -91,6 +124,10 @@ fn run_config(
     let snapshot = registry.snapshot();
     let mut memory_high_water = 0u64;
     let mut retained_high_water = 0u64;
+    // Merge every shard's sampled per-event latency histogram: log-scale buckets
+    // merge exactly, so the result equals one shared histogram and the percentile
+    // summary reflects hundreds of samples, not one whole-run number.
+    let mut event_latency: Option<HistogramSnapshot> = None;
     for shard in 0..shards {
         if let Some((_, hw)) = snapshot.gauge(&format!("detector.shard{shard}.memory_bytes")) {
             memory_high_water += hw;
@@ -98,11 +135,16 @@ fn run_config(
         if let Some((_, hw)) = snapshot.gauge(&format!("detector.shard{shard}.retained_edges")) {
             retained_high_water += hw;
         }
+        if let Some(h) = snapshot.histogram(&format!("detector.shard{shard}.event_latency_ns")) {
+            match &mut event_latency {
+                Some(merged) => merged.merge(h),
+                None => event_latency = Some(h.clone()),
+            }
+        }
     }
-    let latency = snapshot
-        .histogram("bench.batch_latency_ns")
+    let latency = event_latency
         .filter(|h| h.count > 0)
-        .map(LatencySummary::from_histogram)
+        .map(|h| LatencySummary::from_histogram(&h))
         .unwrap_or_default();
     RunResult {
         queries,
@@ -304,7 +346,15 @@ fn main() {
     let mut runs: Vec<RunResult> = Vec::new();
     for queries in query_counts {
         for shards in shard_counts {
-            let run = run_config(&source, &stats, &pool, window, queries, shards, true);
+            let run = run_config(
+                &source,
+                &stats,
+                &pool,
+                window,
+                queries,
+                shards,
+                Mode::Instrumented,
+            );
             let rate = events as f64 / run.elapsed.as_secs_f64();
             print_row(
                 &[
@@ -385,32 +435,75 @@ fn main() {
     // halves of a pair almost equally and cancels in the ratio), and the reported
     // overhead is the median per-pair ratio over 9 pairs.
     let primary_queries = *query_counts.last().expect("non-empty sweep");
-    let pass = |instrumented: bool| {
+    let pass = |mode: Mode| {
         let mut total = Duration::ZERO;
         let mut reps = 0u32;
         while reps == 0 || total < Duration::from_millis(25) {
-            total += run_config(
-                &source,
-                &stats,
-                &pool,
-                window,
-                primary_queries,
-                1,
-                instrumented,
-            )
-            .elapsed;
+            total += run_config(&source, &stats, &pool, window, primary_queries, 1, mode).elapsed;
             reps += 1;
         }
         total.as_secs_f64() / f64::from(reps)
     };
-    let mut pairs: Vec<(f64, f64)> = (0..9).map(|_| (pass(false), pass(true))).collect();
-    pairs.sort_by(|a, b| (a.1 / a.0).total_cmp(&(b.1 / b.0)));
-    let (baseline_secs, instrumented_secs) = pairs[pairs.len() / 2];
+    // Adjacent bare/instrumented/profiled triples: drift hits all three parts of a
+    // triple almost equally and cancels in the ratios.
+    let mut triples: Vec<(f64, f64, f64)> = (0..9)
+        .map(|_| {
+            (
+                pass(Mode::Bare),
+                pass(Mode::Instrumented),
+                pass(Mode::Profiled),
+            )
+        })
+        .collect();
+    triples.sort_by(|a, b| (a.1 / a.0).total_cmp(&(b.1 / b.0)));
+    let (baseline_secs, instrumented_secs, _) = triples[triples.len() / 2];
     let overhead_pct = (instrumented_secs / baseline_secs - 1.0).max(0.0) * 100.0;
+    triples.sort_by(|a, b| (a.2 / a.0).total_cmp(&(b.2 / b.0)));
+    let (profile_base_secs, _, profiled_secs) = triples[triples.len() / 2];
+    let profiling_overhead_pct = (profiled_secs / profile_base_secs - 1.0).max(0.0) * 100.0;
     println!(
         "\ninstrumentation overhead (1 shard, {primary_queries} queries, median of 9 \
          paired passes of >=25ms): {overhead_pct:.2}% ({instrumented_secs:.4}s \
          instrumented vs {baseline_secs:.4}s bare per run)"
+    );
+    println!(
+        "full profiling overhead (metrics + spans + cost attribution, same protocol): \
+         {profiling_overhead_pct:.2}% ({profiled_secs:.4}s profiled vs \
+         {profile_base_secs:.4}s bare per run)"
+    );
+
+    // Per-query cost attribution and measured-cost rebalancing, demonstrated on a
+    // 2-shard primary-pool deployment: measure one replay, distill the report, feed
+    // it back into the balancer, and record the before/after loads.
+    let attribution_registry = MetricsRegistry::new();
+    let mut attributed = ShardedDetector::with_stats(2, stats.clone());
+    for i in 0..primary_queries {
+        let (_, query) = &pool[i % pool.len()];
+        let cycle = (i / pool.len()) as u64;
+        let w = (window / (cycle + 1)).max(1);
+        attributed
+            .register(query.clone(), w)
+            .expect("mined queries are valid");
+    }
+    attributed.enable_cost_attribution(ATTRIBUTION_INTERVAL);
+    for batch in source.batches() {
+        attributed
+            .on_batch(batch)
+            .expect("replayed dataset streams are valid");
+    }
+    attributed.flush();
+    let cost_report = attributed
+        .query_cost_report()
+        .expect("attribution was enabled");
+    cost_report.export(&attribution_registry);
+    let loads_before: Vec<u64> = attributed.shard_loads().to_vec();
+    let measured = MeasuredCost::from_report(&cost_report);
+    let updated = attributed.apply_measured_costs(&measured);
+    let loads_after: Vec<u64> = attributed.shard_loads().to_vec();
+    println!(
+        "\nmeasured-cost rebalance (2 shards, {primary_queries} queries): {updated} \
+         placements re-costed, loads {loads_before:?} (static estimate) -> \
+         {loads_after:?} (measured)"
     );
 
     println!("\nmined query pool (cycled up to the registration target):");
@@ -440,6 +533,25 @@ fn main() {
             ]),
         ),
         ("overhead_pct".into(), Json::Num(overhead_pct)),
+        (
+            "profiling_overhead_pct".into(),
+            Json::Num(profiling_overhead_pct),
+        ),
+        ("query_costs".into(), cost_report.to_json()),
+        (
+            "measured_rebalance".into(),
+            Json::Obj(vec![
+                (
+                    "loads_before".into(),
+                    Json::Arr(loads_before.iter().map(|&l| Json::from_u64(l)).collect()),
+                ),
+                (
+                    "loads_after".into(),
+                    Json::Arr(loads_after.iter().map(|&l| Json::from_u64(l)).collect()),
+                ),
+                ("updated".into(), Json::from_u64(updated as u64)),
+            ]),
+        ),
         (
             "sweep".into(),
             Json::Arr(

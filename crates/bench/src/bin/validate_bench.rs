@@ -1,7 +1,10 @@
 //! Validates committed/emitted benchmark artifacts against the `bench-report/v1`
 //! schema (see `obs::report`): every required field must be present and every
 //! required numeric field finite — a `NaN` throughput renders as JSON `null` and
-//! fails here instead of being silently committed.
+//! fails here instead of being silently committed. Validation also rejects
+//! degenerate latency summaries (percentiles must satisfy p50 ≤ p95 ≤ p99 ≤ max)
+//! and negative or non-finite `extra.*overhead_pct` fields. For *regression*
+//! gating against a committed baseline, see the `bench_diff` binary.
 //!
 //! Usage: `validate_bench BENCH_<bin>_<scale>.json [more files...]`
 //!

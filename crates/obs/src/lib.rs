@@ -17,18 +17,24 @@
 //! * [`report`] — the committed benchmark artifact format: [`BenchReport`] renders to
 //!   and validates the stable `BENCH_<bin>_<scale>.json` schema
 //!   ([`report::BENCH_SCHEMA`]) that records the repo's performance trajectory
-//!   (events/sec, latency percentiles, memory high-water, per-shard breakdown).
+//!   (events/sec, latency percentiles, memory high-water, per-shard breakdown), and
+//!   [`report::diff_reports`] gates fresh runs against committed baselines.
+//! * [`profile`] — a scoped-span [`Profiler`] (thread-local span stacks, sampled
+//!   timing, collapsed-stack / flamegraph text export) plus the per-query cost
+//!   attribution types ([`QueryCost`], [`QueryCostReport`]) the engine fills in.
 //!
 //! ## Design rules
 //!
-//! Instrumentation must be **inert**: attaching metrics or a trace sink may never
-//! change what a detector detects (checked by `crates/stream/tests/
-//! instrumentation_parity.rs`), and the uninstrumented hot path pays exactly one
-//! `Option` branch. All metric writers are lock-free atomics, safe to tick from
-//! scoped worker threads; only registry lookups (construction-time) take a lock.
+//! Instrumentation must be **inert**: attaching metrics, a trace sink, a profiler,
+//! or cost attribution may never change what a detector detects (checked by
+//! `crates/stream/tests/instrumentation_parity.rs`), and the uninstrumented hot
+//! path pays only `Option`-is-`None` branches. All metric writers are lock-free
+//! atomics, safe to tick from scoped worker threads; only registry lookups
+//! (construction-time) and timed-span aggregation take a lock.
 
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod report;
 pub mod trace;
 
@@ -37,5 +43,8 @@ pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricKind, MetricValue, MetricsRegistry,
     MetricsSnapshot,
 };
-pub use report::{BenchReport, LatencySummary, ShardStat, TenantGroupStat};
+pub use profile::{ProfileSnapshot, Profiler, QueryCost, QueryCostReport, Span, SpanStat};
+pub use report::{
+    BenchReport, DiffThresholds, LatencySummary, ReportDiff, ShardStat, TenantGroupStat,
+};
 pub use trace::{CollectingSink, NullSink, SharedSink, StderrSink, TraceEvent, TraceSink};

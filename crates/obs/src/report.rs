@@ -18,7 +18,7 @@
 //!   "detections": 42,                    // detections emitted
 //!   "elapsed_ns": 104857600,             // wall-clock of the measured section
 //!   "events_per_sec": 122070.3,          // required finite
-//!   "latency": {                         // per-batch latency percentiles, ns
+//!   "latency": {                         // sampled per-event latency percentiles, ns
 //!     "unit": "ns",
 //!     "p50": 1023, "p95": 4095, "p99": 8191, "mean": 1500.2, "max": 9000
 //!   },
@@ -147,7 +147,7 @@ pub struct BenchReport {
     pub elapsed_ns: u64,
     /// Throughput of the primary configuration.
     pub events_per_sec: f64,
-    /// Per-batch latency summary.
+    /// Sampled per-event latency summary.
     pub latency: LatencySummary,
     /// Detector memory-estimate high-water mark, bytes.
     pub memory_high_water_bytes: u64,
@@ -263,6 +263,46 @@ pub fn validate(doc: &Json) -> Vec<String> {
         doc.get("memory").and_then(|m| m.get("retained_edges")),
     );
 
+    // Percentiles must be monotonic; a degenerate or shuffled latency block is a
+    // harness bug, not a property of the workload.
+    let quantile = |field: &str| {
+        doc.get("latency")
+            .and_then(|l| l.get(field))
+            .and_then(Json::as_f64)
+    };
+    if let (Some(p50), Some(p95), Some(p99), Some(max)) = (
+        quantile("p50"),
+        quantile("p95"),
+        quantile("p99"),
+        quantile("max"),
+    ) {
+        if !(p50 <= p95 && p95 <= p99 && p99 <= max) {
+            problems.push(format!(
+                "latency: percentiles not monotonic (require p50 <= p95 <= p99 <= max, \
+                 got {p50} / {p95} / {p99} / {max})"
+            ));
+        }
+    }
+
+    // Overhead ratios are optional extras, but when present they must be finite
+    // and non-negative — NaN renders as null and a negative overhead means the
+    // measurement harness is broken.
+    for field in [
+        "overhead_pct",
+        "durability_overhead_pct",
+        "profiling_overhead_pct",
+    ] {
+        if let Some(value) = doc.get("extra").and_then(|e| e.get(field)) {
+            match value.as_f64() {
+                Some(pct) if pct >= 0.0 => {}
+                Some(pct) => problems.push(format!("extra.{field}: negative ({pct})")),
+                None => problems.push(format!(
+                    "extra.{field}: not a finite number (NaN renders as null)"
+                )),
+            }
+        }
+    }
+
     match doc.get("shards").map(Json::as_arr) {
         Some(Some(shards)) => {
             if shards.is_empty() {
@@ -282,6 +322,136 @@ pub fn validate(doc: &Json) -> Vec<String> {
         None => problems.push("shards: missing".into()),
     }
     problems
+}
+
+/// Regression thresholds for [`diff_reports`]. The defaults are deliberately loose:
+/// tiny-scale runs on shared CI hardware are noisy, and the gate exists to catch
+/// "this PR made it 3× slower", not 5% jitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffThresholds {
+    /// Maximum tolerated `events_per_sec` drop versus baseline, percent.
+    pub max_events_per_sec_drop_pct: f64,
+    /// Ceiling on the fresh run's `extra.overhead_pct` (the <5% instrumentation
+    /// contract plus CI noise headroom).
+    pub max_overhead_pct: f64,
+    /// Ceiling on the fresh run's `extra.durability_overhead_pct` (WAL appends are
+    /// expensive relative to tiny in-memory batches; see the durability bench).
+    pub max_durability_overhead_pct: f64,
+}
+
+impl Default for DiffThresholds {
+    fn default() -> Self {
+        Self {
+            max_events_per_sec_drop_pct: 60.0,
+            max_overhead_pct: 10.0,
+            max_durability_overhead_pct: 150.0,
+        }
+    }
+}
+
+/// The outcome of comparing a fresh report against its committed baseline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ReportDiff {
+    /// Threshold violations and behavior changes — any entry should fail the gate.
+    pub regressions: Vec<String>,
+    /// Informational field-by-field deltas (always populated for context).
+    pub notes: Vec<String>,
+}
+
+impl ReportDiff {
+    /// Whether the fresh report passes the gate.
+    pub fn is_ok(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Compares a fresh `bench-report/v1` document against a committed baseline
+/// field-by-field. Throughput may drop up to the threshold (CI noise); overhead
+/// ratios are gated absolutely on the fresh run; `events`/`detections` must match
+/// exactly — the harness is seeded and the engine deterministic, so a count change
+/// is a behavior change, and an intentional one must regenerate the baseline.
+pub fn diff_reports(baseline: &Json, fresh: &Json, thresholds: &DiffThresholds) -> ReportDiff {
+    let mut diff = ReportDiff::default();
+    let num = |doc: &Json, path: &[&str]| -> Option<f64> {
+        let mut node = doc;
+        for key in path {
+            node = node.get(key)?;
+        }
+        node.as_f64()
+    };
+
+    for (name, path) in [
+        ("events", &["events"] as &[&str]),
+        ("detections", &["detections"]),
+    ] {
+        if let (Some(base), Some(new)) = (num(baseline, path), num(fresh, path)) {
+            if base != new {
+                diff.regressions.push(format!(
+                    "{name}: baseline {base}, fresh {new} — deterministic count changed \
+                     (regenerate the baseline if intentional)"
+                ));
+            }
+        }
+    }
+
+    if let (Some(base), Some(new)) = (
+        num(baseline, &["events_per_sec"]),
+        num(fresh, &["events_per_sec"]),
+    ) {
+        if base > 0.0 {
+            let drop_pct = (1.0 - new / base) * 100.0;
+            diff.notes.push(format!(
+                "events_per_sec: baseline {base:.0}, fresh {new:.0} ({:+.1}%)",
+                -drop_pct
+            ));
+            if drop_pct > thresholds.max_events_per_sec_drop_pct {
+                diff.regressions.push(format!(
+                    "events_per_sec: dropped {drop_pct:.1}% (baseline {base:.0} → fresh \
+                     {new:.0}), threshold {:.1}%",
+                    thresholds.max_events_per_sec_drop_pct
+                ));
+            }
+        }
+    }
+
+    for (field, ceiling) in [
+        ("overhead_pct", thresholds.max_overhead_pct),
+        (
+            "durability_overhead_pct",
+            thresholds.max_durability_overhead_pct,
+        ),
+    ] {
+        let fresh_pct = num(fresh, &["extra", field]);
+        if let Some(new) = fresh_pct {
+            if let Some(base) = num(baseline, &["extra", field]) {
+                diff.notes
+                    .push(format!("extra.{field}: baseline {base:.2}, fresh {new:.2}"));
+            }
+            if new > ceiling {
+                diff.regressions.push(format!(
+                    "extra.{field}: fresh {new:.2} exceeds ceiling {ceiling:.2}"
+                ));
+            }
+        }
+    }
+
+    for (name, path) in [
+        ("latency.p50", &["latency", "p50"] as &[&str]),
+        ("latency.p99", &["latency", "p99"]),
+        (
+            "memory.high_water_bytes",
+            &["memory", "high_water_bytes"] as &[&str],
+        ),
+    ] {
+        if let (Some(base), Some(new)) = (num(baseline, path), num(fresh, path)) {
+            if base != new {
+                diff.notes
+                    .push(format!("{name}: baseline {base}, fresh {new}"));
+            }
+        }
+    }
+
+    diff
 }
 
 #[cfg(test)]
@@ -361,6 +531,121 @@ mod tests {
         let problems = validate(&parsed);
         assert!(problems.iter().any(|p| p.contains("expected")));
         assert!(problems.iter().any(|p| p.contains("shards: empty")));
+    }
+
+    #[test]
+    fn validation_rejects_non_monotonic_percentiles() {
+        let mut report = sample();
+        report.latency.p50_ns = 9000;
+        report.latency.p95_ns = 100; // shuffled: p50 > p95
+        let problems = validate(&Json::parse(&report.render()).unwrap());
+        assert!(
+            problems.iter().any(|p| p.contains("not monotonic")),
+            "shuffled percentiles must fail, got {problems:?}"
+        );
+        // Degenerate-but-monotonic (all equal) still validates: one real sample is
+        // legal; the stream_throughput harness just should not produce it.
+        let mut flat = sample();
+        flat.latency = LatencySummary {
+            p50_ns: 7,
+            p95_ns: 7,
+            p99_ns: 7,
+            mean_ns: 7.0,
+            max_ns: 7,
+        };
+        assert_eq!(
+            validate(&Json::parse(&flat.render()).unwrap()),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn validation_rejects_negative_and_nan_overhead_fields() {
+        let mut report = sample();
+        report.extra.push(("overhead_pct".into(), Json::Num(-3.0)));
+        report
+            .extra
+            .push(("durability_overhead_pct".into(), Json::Num(f64::NAN)));
+        let problems = validate(&Json::parse(&report.render()).unwrap());
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("overhead_pct: negative")));
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("durability_overhead_pct: not a finite number")));
+
+        // Absent overhead extras are fine — they are optional.
+        assert_eq!(
+            validate(&Json::parse(&sample().render()).unwrap()),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn diff_passes_identical_reports_and_notes_deltas() {
+        let doc = Json::parse(&sample().render()).unwrap();
+        let diff = diff_reports(&doc, &doc, &DiffThresholds::default());
+        assert!(
+            diff.is_ok(),
+            "identical reports regress: {:?}",
+            diff.regressions
+        );
+        assert!(
+            diff.notes.iter().any(|n| n.contains("events_per_sec")),
+            "throughput delta is always noted"
+        );
+    }
+
+    #[test]
+    fn diff_gates_throughput_drops_beyond_threshold() {
+        let baseline = Json::parse(&sample().render()).unwrap();
+        let mut slow = sample();
+        slow.events_per_sec /= 10.0;
+        let fresh = Json::parse(&slow.render()).unwrap();
+        let thresholds = DiffThresholds::default();
+        let diff = diff_reports(&baseline, &fresh, &thresholds);
+        assert!(diff
+            .regressions
+            .iter()
+            .any(|r| r.contains("events_per_sec: dropped 90.0%")));
+        // A drop within the threshold passes.
+        let mut ok = sample();
+        ok.events_per_sec *= 0.5;
+        let diff = diff_reports(&baseline, &Json::parse(&ok.render()).unwrap(), &thresholds);
+        assert!(
+            diff.is_ok(),
+            "50% drop under a 60% threshold: {:?}",
+            diff.regressions
+        );
+    }
+
+    #[test]
+    fn diff_gates_overhead_ceilings_and_count_changes() {
+        let baseline = Json::parse(&sample().render()).unwrap();
+        let mut fresh = sample();
+        fresh.detections += 1;
+        fresh.extra.push(("overhead_pct".into(), Json::Num(25.0)));
+        fresh
+            .extra
+            .push(("durability_overhead_pct".into(), Json::Num(80.0)));
+        let diff = diff_reports(
+            &baseline,
+            &Json::parse(&fresh.render()).unwrap(),
+            &DiffThresholds::default(),
+        );
+        assert!(diff
+            .regressions
+            .iter()
+            .any(|r| r.contains("detections") && r.contains("count changed")));
+        assert!(diff
+            .regressions
+            .iter()
+            .any(|r| r.contains("overhead_pct: fresh 25.00 exceeds ceiling 10.00")));
+        assert!(
+            !diff.regressions.iter().any(|r| r.contains("durability")),
+            "80% durability overhead is under its 150% ceiling: {:?}",
+            diff.regressions
+        );
     }
 
     #[test]

@@ -31,7 +31,7 @@ use crate::durability::Durability;
 use crate::error::{BatchError, DeregisterError, RegisterError};
 use crate::instrument::DetectorInstruments;
 use crate::registry::QueryTable;
-use obs::{SharedSink, TraceEvent};
+use obs::{Profiler, QueryCost, QueryCostReport, SharedSink, TraceEvent};
 use query::matcher::{
     complete_static_anchored, seed_matches, static_window_bounds, window_deadline, NodeSetRun,
     RunStep, TemporalRun, TemporalSpawn,
@@ -101,6 +101,28 @@ struct PendingStatic {
     deadline: u64,
 }
 
+/// Per-query attribution state (see [`Detector::enable_cost_attribution`]).
+#[derive(Debug)]
+struct CostTracker {
+    /// Costs indexed by local [`QueryId`]. Ids are never reused, so a slot is
+    /// stable for the detector's lifetime; the vec grows on first touch, and a
+    /// registered-but-never-touched query simply has no slot yet (zero cost).
+    per_query: Vec<QueryCost>,
+    /// One event in this many gets clock-timed per-run measurements.
+    interval: u64,
+    /// Rolling event index driving the timing-sample decision.
+    tick: u64,
+}
+
+impl CostTracker {
+    fn slot(&mut self, query: QueryId) -> &mut QueryCost {
+        if query >= self.per_query.len() {
+            self.per_query.resize(query + 1, QueryCost::default());
+        }
+        &mut self.per_query[query]
+    }
+}
+
 /// The streaming detection engine. See the module docs for the execution model and the
 /// crate docs for the offline-consistency guarantee.
 #[derive(Debug)]
@@ -112,17 +134,24 @@ pub struct Detector {
     pending_static: Vec<PendingStatic>,
     dropped_branches: u64,
     /// Attached metric handles, if any. Attaching them never changes detections —
-    /// the uninstrumented hot path pays exactly one `Option` branch per batch.
+    /// the uninstrumented hot path pays only `Option`-is-`None` branches.
     instruments: Option<DetectorInstruments>,
     /// Attached lifecycle-event sink, if any (same inertness contract).
     sink: Option<SharedSink>,
     /// Attached write-ahead recorder, if any (same inertness contract): inputs are
     /// recorded, detections are never changed by attaching one.
     durability: Option<Durability>,
+    /// Attached scoped-span profiler, if any (same inertness contract): spans are
+    /// observation-only and their timing is sampled.
+    profiler: Option<Profiler>,
+    /// Per-query cost attribution, if enabled (same inertness contract).
+    costs: Option<CostTracker>,
     /// Eviction count already reported to the sink (delta tracking).
     traced_evictions: u64,
     /// Rolling event index for latency sampling (instrumented batches only).
     sample_tick: u64,
+    /// Rolling event index for phase-span sampling (profiler attached only).
+    profile_tick: u64,
 }
 
 impl Default for Detector {
@@ -161,8 +190,11 @@ impl Detector {
             instruments: None,
             sink: None,
             durability: None,
+            profiler: None,
+            costs: None,
             traced_evictions: 0,
             sample_tick: 0,
+            profile_tick: 0,
         }
     }
 
@@ -188,6 +220,69 @@ impl Detector {
     /// without it.
     pub fn set_durability(&mut self, durability: Option<Durability>) {
         self.durability = durability;
+    }
+
+    /// Attaches (or with `None` detaches) a scoped-span profiler. When attached,
+    /// batches open a `detector.batch` span and one event in
+    /// `LATENCY_SAMPLE` (16) additionally opens the four per-phase spans
+    /// (`resolve_static` / `advance_temporal` / `advance_nodesets` / `spawn`);
+    /// the profiler's own root sampling applies on top. Profiling is inert:
+    /// detections are identical with and without it.
+    pub fn set_profiler(&mut self, profiler: Option<Profiler>) {
+        self.profiler = profiler;
+    }
+
+    /// The attached profiler, if any.
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.profiler.as_ref()
+    }
+
+    /// Enables per-query cost attribution: exact work counters (runs spawned,
+    /// advances, drops, detections) on *every* event, plus clock-timed per-run
+    /// wall-time measurements on one event in `sample_interval` (`0`/`1` = every
+    /// event). Attribution is inert — it observes the five-step loop without
+    /// changing it. Costs accumulate for the detector's lifetime; calling again
+    /// only changes the sampling interval.
+    pub fn enable_cost_attribution(&mut self, sample_interval: u64) {
+        let interval = sample_interval.max(1);
+        match &mut self.costs {
+            Some(costs) => costs.interval = interval,
+            None => {
+                self.costs = Some(CostTracker {
+                    per_query: Vec::new(),
+                    interval,
+                    tick: 0,
+                })
+            }
+        }
+    }
+
+    /// Disables cost attribution, discarding the accumulated costs.
+    pub fn disable_cost_attribution(&mut self) {
+        self.costs = None;
+    }
+
+    /// The raw measured costs `(per-local-id slice, sample interval)`, if
+    /// attribution is enabled. The slice may be shorter than the id space: a
+    /// query never touched has no slot yet (zero cost).
+    pub fn cost_attribution(&self) -> Option<(&[QueryCost], u64)> {
+        self.costs
+            .as_ref()
+            .map(|costs| (costs.per_query.as_slice(), costs.interval))
+    }
+
+    /// The measured costs as a report over this detector's *local* ids — one row
+    /// per id ever registered. The sharded engine remaps these to global ids; use
+    /// `ShardedDetector::query_cost_report` there.
+    pub fn query_costs(&self) -> Option<QueryCostReport> {
+        let costs = self.costs.as_ref()?;
+        let slots = self.queries.slot_count().max(costs.per_query.len());
+        Some(QueryCostReport {
+            rows: (0..slots)
+                .map(|id| (id, costs.per_query.get(id).copied().unwrap_or_default()))
+                .collect(),
+            sample_interval: costs.interval,
+        })
     }
 
     /// Restores a visibility floor recorded from a previous process (crash recovery):
@@ -341,15 +436,55 @@ impl Detector {
         // Reject a bad event *before* touching any state: resolving pending anchors
         // first and then failing would silently consume their detections.
         self.graph.validate(&event)?;
+        // Cost attribution: counters are exact on every event; clock-timed per-run
+        // measurements happen on one event in `interval`.
+        let timed = match &mut self.costs {
+            Some(costs) => {
+                let tick = costs.tick;
+                costs.tick = costs.tick.wrapping_add(1);
+                tick % costs.interval == 0
+            }
+            None => false,
+        };
+        // Phase spans: one event in LATENCY_SAMPLE gets the per-phase span tree
+        // (the profiler's own root sampling applies on top). Spans for every event
+        // would cost a clock-read pair per phase — far over the overhead budget.
+        let profiler = match &self.profiler {
+            Some(profiler) => {
+                let tick = self.profile_tick;
+                self.profile_tick = self.profile_tick.wrapping_add(1);
+                (tick & (Self::LATENCY_SAMPLE - 1) == 0).then(|| profiler.clone())
+            }
+            None => None,
+        };
         let mut out = Vec::new();
-        self.resolve_static_due(Some(event.ts), &mut out);
+        {
+            let _span = profiler.as_ref().map(|p| p.enter("resolve_static"));
+            self.resolve_static_due(Some(event.ts), &mut out, timed);
+        }
         self.graph
             .append(event)
             .expect("event was validated just above");
         let edge = event.edge();
-        self.advance_temporal(edge, &mut out);
-        self.advance_nodesets(event, &mut out);
-        self.spawn_for(event, &mut out);
+        {
+            let _span = profiler.as_ref().map(|p| p.enter("advance_temporal"));
+            self.advance_temporal(edge, &mut out, timed);
+        }
+        {
+            let _span = profiler.as_ref().map(|p| p.enter("advance_nodesets"));
+            self.advance_nodesets(event, &mut out, timed);
+        }
+        {
+            let _span = profiler.as_ref().map(|p| p.enter("spawn"));
+            self.spawn_for(event, &mut out, timed);
+        }
+        if !out.is_empty() {
+            if let Some(costs) = &mut self.costs {
+                for detection in &out {
+                    costs.slot(detection.query).detections += 1;
+                }
+            }
+        }
         Ok(out)
     }
 
@@ -398,9 +533,13 @@ impl Detector {
         if let Some(durability) = &mut self.durability {
             durability.record_events(events);
         }
+        // The batch span is the profiler's root (and its sampling point): when it is
+        // sampled out, the per-event phase spans inside are suppressed for free.
+        let _batch_span = self.profiler.as_ref().map(|p| p.enter("detector.batch"));
         if self.instruments.is_none() && self.sink.is_none() {
-            // The plain path: one `Option` branch for the whole batch, then exactly
-            // the pre-instrumentation loop.
+            // The plain path: `Option`-is-`None` branches only (one for the batch,
+            // plus the profiler/attribution nil-checks inside `process_event`), then
+            // exactly the pre-instrumentation loop.
             let mut out = Vec::new();
             for (index, &event) in events.iter().enumerate() {
                 match self.process_event(event) {
@@ -491,10 +630,22 @@ impl Detector {
     /// that never completed are discarded — exactly as an offline search reaching the
     /// end of the graph would abandon them.
     pub fn flush(&mut self) -> Vec<Detection> {
+        let _span = self.profiler.as_ref().map(|p| p.enter("detector.flush"));
         let mut out = Vec::new();
-        self.resolve_static_due(None, &mut out);
-        for (_, run) in self.temporal_runs.drain(..) {
+        self.resolve_static_due(None, &mut out, false);
+        for (query, run) in self.temporal_runs.drain(..) {
             self.dropped_branches += run.dropped_branches();
+            if let Some(costs) = &mut self.costs {
+                costs.slot(query).dropped += 1;
+            }
+        }
+        if let Some(costs) = &mut self.costs {
+            for (query, _) in &self.nodeset_runs {
+                costs.slot(*query).dropped += 1;
+            }
+            for detection in &out {
+                costs.slot(detection.query).detections += 1;
+            }
         }
         self.nodeset_runs.clear();
         out
@@ -531,7 +682,7 @@ impl Detector {
     /// Resolves pending static anchors. With `Some(now)`, only anchors whose window
     /// closed strictly before `now` (their buffered slice is complete); with `None`,
     /// all of them (stream end).
-    fn resolve_static_due(&mut self, now: Option<u64>, out: &mut Vec<Detection>) {
+    fn resolve_static_due(&mut self, now: Option<u64>, out: &mut Vec<Detection>, timed: bool) {
         if self.pending_static.is_empty() {
             return;
         }
@@ -540,6 +691,7 @@ impl Detector {
             .partition(|p| now.is_none_or(|ts| p.deadline < ts));
         self.pending_static = keep;
         for pending in due {
+            let clock = timed.then(Instant::now);
             let registered = self.queries.get(pending.query);
             let CompiledQuery::Static(pattern) = registered.query() else {
                 unreachable!("pending static anchor for a non-static query");
@@ -559,18 +711,43 @@ impl Detector {
                     end_ts,
                 });
             }
+            if let Some(costs) = &mut self.costs {
+                let slot = costs.slot(pending.query);
+                slot.advanced += 1;
+                if let Some(start) = clock {
+                    slot.sampled_ns = slot
+                        .sampled_ns
+                        .saturating_add(start.elapsed().as_nanos() as u64);
+                    slot.sampled_ops += 1;
+                }
+            }
         }
     }
 
     /// Advances all temporal runs by one edge.
-    fn advance_temporal(&mut self, edge: TemporalEdge, out: &mut Vec<Detection>) {
+    fn advance_temporal(&mut self, edge: TemporalEdge, out: &mut Vec<Detection>, timed: bool) {
         let mut runs = std::mem::take(&mut self.temporal_runs);
         let mut dropped = 0u64;
         runs.retain_mut(|(query, run)| {
             let CompiledQuery::Temporal(pattern) = self.queries.get(*query).query() else {
                 unreachable!("temporal run for a non-temporal query");
             };
-            let keep = match run.advance(pattern, self.graph.labels(), edge) {
+            let clock = timed.then(Instant::now);
+            let step = run.advance(pattern, self.graph.labels(), edge);
+            if let Some(costs) = &mut self.costs {
+                let slot = costs.slot(*query);
+                slot.advanced += 1;
+                if matches!(step, RunStep::Expired) {
+                    slot.dropped += 1;
+                }
+                if let Some(start) = clock {
+                    slot.sampled_ns = slot
+                        .sampled_ns
+                        .saturating_add(start.elapsed().as_nanos() as u64);
+                    slot.sampled_ops += 1;
+                }
+            }
+            let keep = match step {
                 RunStep::Pending => true,
                 RunStep::Expired => false,
                 RunStep::Complete((start_ts, end_ts)) => {
@@ -592,10 +769,26 @@ impl Detector {
     }
 
     /// Advances all keyword windows by one event's endpoints.
-    fn advance_nodesets(&mut self, event: StreamEvent, out: &mut Vec<Detection>) {
+    fn advance_nodesets(&mut self, event: StreamEvent, out: &mut Vec<Detection>, timed: bool) {
         let endpoints = [(event.src, event.src_label), (event.dst, event.dst_label)];
-        self.nodeset_runs
-            .retain_mut(|(query, run)| match run.advance(event.ts, endpoints) {
+        let mut runs = std::mem::take(&mut self.nodeset_runs);
+        runs.retain_mut(|(query, run)| {
+            let clock = timed.then(Instant::now);
+            let step = run.advance(event.ts, endpoints);
+            if let Some(costs) = &mut self.costs {
+                let slot = costs.slot(*query);
+                slot.advanced += 1;
+                if matches!(step, RunStep::Expired) {
+                    slot.dropped += 1;
+                }
+                if let Some(start) = clock {
+                    slot.sampled_ns = slot
+                        .sampled_ns
+                        .saturating_add(start.elapsed().as_nanos() as u64);
+                    slot.sampled_ops += 1;
+                }
+            }
+            match step {
                 RunStep::Pending => true,
                 RunStep::Expired => false,
                 RunStep::Complete((start_ts, end_ts)) => {
@@ -606,11 +799,13 @@ impl Detector {
                     });
                     false
                 }
-            });
+            }
+        });
+        self.nodeset_runs = runs;
     }
 
     /// Spawns new runs / anchors for the arriving event itself.
-    fn spawn_for(&mut self, event: StreamEvent, out: &mut Vec<Detection>) {
+    fn spawn_for(&mut self, event: StreamEvent, out: &mut Vec<Detection>, timed: bool) {
         let edge = event.edge();
         let labels = self.graph.labels();
 
@@ -625,6 +820,7 @@ impl Detector {
             if !seed_matches(pattern, labels, edge) {
                 continue; // right labels, wrong loop structure
             }
+            let clock = timed.then(Instant::now);
             match TemporalRun::spawn(pattern, edge, self.queries.get(query).window()) {
                 TemporalSpawn::Complete((start_ts, end_ts)) => {
                     out.push(Detection {
@@ -635,9 +831,21 @@ impl Detector {
                 }
                 TemporalSpawn::Active(run) => self.temporal_runs.push((query, run)),
             }
+            if let Some(costs) = &mut self.costs {
+                let slot = costs.slot(query);
+                slot.spawned += 1;
+                if let Some(start) = clock {
+                    slot.sampled_ns = slot
+                        .sampled_ns
+                        .saturating_add(start.elapsed().as_nanos() as u64);
+                    slot.sampled_ops += 1;
+                }
+            }
         }
 
         // Static queries: remember the anchor, resolve when the window closes.
+        // Anchoring itself is a push; the attributable work happens at resolution
+        // (counted as an advance there), so only `spawned` ticks here.
         for &query in self
             .queries
             .static_candidates(event.src_label, event.dst_label)
@@ -648,6 +856,9 @@ impl Detector {
                 anchor: edge,
                 deadline,
             });
+            if let Some(costs) = &mut self.costs {
+                costs.slot(query).spawned += 1;
+            }
         }
 
         // Keyword queries touched by either endpoint label (deduplicated).
@@ -665,6 +876,7 @@ impl Detector {
             let CompiledQuery::NodeSet(set) = self.queries.get(query).query() else {
                 unreachable!("nodeset label index points at a non-nodeset query");
             };
+            let clock = timed.then(Instant::now);
             let mut run = NodeSetRun::spawn(set, event.ts, self.queries.get(query).window());
             // The anchor edge's own endpoints count toward the match.
             match run.advance(
@@ -679,6 +891,16 @@ impl Detector {
                         start_ts,
                         end_ts,
                     });
+                }
+            }
+            if let Some(costs) = &mut self.costs {
+                let slot = costs.slot(query);
+                slot.spawned += 1;
+                if let Some(start) = clock {
+                    slot.sampled_ns = slot
+                        .sampled_ns
+                        .saturating_add(start.elapsed().as_nanos() as u64);
+                    slot.sampled_ops += 1;
                 }
             }
         }
@@ -1240,6 +1462,84 @@ mod tests {
         // The detector is still usable: the valid prefix was applied, the rest was not.
         let out = detector.on_event(ev(10, 0, 1, 0, 1)).unwrap();
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn cost_attribution_counts_exact_work_per_query() {
+        let g = test_graph();
+        let mut detector = Detector::new();
+        let q_abc = must_register(&mut detector, CompiledQuery::Temporal(abc_pattern()), 5);
+        let q_loop = must_register(
+            &mut detector,
+            CompiledQuery::Temporal(TemporalPattern::single_self_loop(l(9))),
+            5,
+        );
+        detector.enable_cost_attribution(1); // time every event
+        let detections = replay(&mut detector, &g);
+        let report = detector.query_costs().expect("attribution enabled");
+        assert_eq!(report.sample_interval, 1);
+        assert_eq!(report.rows.len(), 2, "one row per registered id");
+
+        let abc = report.get(q_abc).unwrap();
+        // Three A->B seed edges spawn runs; each live run is advanced by the
+        // following edges until it completes or expires.
+        assert_eq!(abc.spawned, 3);
+        assert!(abc.advanced > 0, "live runs were advanced: {abc:?}");
+        assert_eq!(
+            abc.detections,
+            detections.iter().filter(|d| d.query == q_abc).count() as u64
+        );
+        // The ts-11 chain is reversed (B->C before A->B), so one of the three
+        // spawned runs never completes: it expires mid-stream or dies at flush.
+        assert_eq!(abc.spawned, abc.detections + abc.dropped);
+        assert!(abc.sampled_ns > 0, "interval 1 times every operation");
+        assert!(abc.sampled_ops >= abc.advanced);
+
+        let lp = report.get(q_loop).unwrap();
+        assert_eq!(lp.spawned, 1, "one noise self-loop seeds it");
+        assert_eq!(lp.detections, 1, "single-edge pattern completes at spawn");
+        assert_eq!(lp.dropped, 0);
+        assert!(lp.cost_units() < abc.cost_units(), "abc does more work");
+    }
+
+    #[test]
+    fn cost_attribution_and_profiling_are_inert() {
+        let g = test_graph();
+        let mut plain = Detector::new();
+        must_register(&mut plain, CompiledQuery::Temporal(abc_pattern()), 5);
+        must_register(
+            &mut plain,
+            CompiledQuery::NodeSet(NodeSetQuery {
+                labels: vec![l(0), l(1), l(2)],
+            }),
+            5,
+        );
+        let baseline = replay(&mut plain, &g);
+
+        let mut observed = Detector::new();
+        must_register(&mut observed, CompiledQuery::Temporal(abc_pattern()), 5);
+        must_register(
+            &mut observed,
+            CompiledQuery::NodeSet(NodeSetQuery {
+                labels: vec![l(0), l(1), l(2)],
+            }),
+            5,
+        );
+        observed.enable_cost_attribution(2);
+        let profiler = Profiler::new();
+        observed.set_profiler(Some(profiler.clone()));
+        let detections = replay(&mut observed, &g);
+        assert_eq!(
+            detections, baseline,
+            "attribution + profiling change nothing"
+        );
+        assert!(
+            !profiler.snapshot().is_empty(),
+            "phase spans were recorded along the way"
+        );
+        // Disabling discards the costs; the detector keeps working.
+        observed.disable_cost_attribution();
+        assert!(observed.query_costs().is_none());
     }
 
     #[test]

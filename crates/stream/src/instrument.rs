@@ -31,6 +31,22 @@
 //! The gauges' high-water marks give the run's peaks (memory high-water,
 //! run-table occupancy peaks) for free.
 //!
+//! With cost attribution enabled (`Detector::enable_cost_attribution` and the
+//! sharded/tenant equivalents), exporting the resulting
+//! [`QueryCostReport`](obs::QueryCostReport) publishes per-query counters — with
+//! global query id `q`:
+//!
+//! | name                     | kind    | meaning                                   |
+//! |--------------------------|---------|-------------------------------------------|
+//! | `query.<q>.spawned`      | counter | partial-match runs seeded for the query   |
+//! | `query.<q>.advanced`     | counter | run-advance / anchor-resolution steps     |
+//! | `query.<q>.dropped`      | counter | runs expired or discarded unfinished      |
+//! | `query.<q>.detections`   | counter | detections attributed to the query        |
+//! | `query.<q>.sampled_ns`   | counter | wall time of the *sampled* operations     |
+//! | `query.<q>.sampled_ops`  | counter | how many operations were clock-sampled    |
+//!
+//! (estimated total per-query wall time ≈ `sampled_ns × sample_interval`).
+//!
 //! The multi-tenant pool adds group-level series — with group index `g`,
 //! `tenant.group<g>.events_total` / `tenant.group<g>.detections_total` (counters)
 //! and `tenant.group<g>.tenants` (gauge) — ticked by the pool itself, one set per

@@ -58,6 +58,19 @@
 //! single [`Detector`] — per-tenant state is fully isolated, and the shared query set
 //! replays identically on every tenant. `tests/tenant_parity.rs` enforces it
 //! property-style over random interleavings.
+//!
+//! ## Observability
+//!
+//! Every engine layer accepts the `obs` crate's inert instrumentation: metric
+//! bundles ([`instrument`]), structured trace sinks, a scoped-span profiler
+//! (`set_profiler` at each layer; spans aggregate into a collapsed-stack /
+//! flamegraph export), and sampled per-query cost attribution
+//! (`enable_cost_attribution` / `query_cost_report`). Measured costs close the
+//! loop on shard balancing: [`MeasuredCost`] distills a cost report and
+//! [`ShardedDetector::apply_measured_costs`] swaps it in for the static
+//! [`LabelPairStats`] estimate. None of it may change detections —
+//! `tests/instrumentation_parity.rs` holds the whole surface to byte-identical
+//! output.
 
 pub mod detector;
 pub mod discovery;
@@ -77,5 +90,5 @@ pub use durability::{Durability, DurabilitySink};
 pub use error::{BatchError, DeregisterError, RegisterError, TenantBatchError};
 pub use instrument::{DetectorInstruments, PipelineInstruments};
 pub use registry::{QueryTable, Registered};
-pub use shard::{LabelPairStats, ShardedDetector};
+pub use shard::{LabelPairStats, MeasuredCost, ShardedDetector};
 pub use tenant::{TenantDetection, TenantPool, TenantRouter};

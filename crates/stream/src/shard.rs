@@ -43,8 +43,10 @@ use crate::detector::{CompiledQuery, Detection, Detector, QueryId, Registration,
 use crate::durability::Durability;
 use crate::error::{BatchError, DeregisterError, RegisterError};
 use crate::instrument::DetectorInstruments;
-use obs::{MetricsRegistry, ShardStat, SharedSink, TraceEvent};
-use std::collections::HashMap;
+use obs::{
+    MetricsRegistry, Profiler, QueryCost, QueryCostReport, ShardStat, SharedSink, TraceEvent,
+};
+use std::collections::{BTreeMap, HashMap};
 use tgraph::{EdgePostings, GraphError, IncrementalGraph, Label, StreamEvent, TemporalGraph};
 
 /// Label-pair posting frequencies: the cost model behind query→shard assignment.
@@ -148,6 +150,46 @@ impl LabelPairStats {
     }
 }
 
+/// Measured per-query cost, distilled from a [`QueryCostReport`] — the feedback
+/// half of the assignment loop. [`LabelPairStats`] *predicts* cost from label-pair
+/// posting frequencies before a query has run; `MeasuredCost` replaces that estimate
+/// with what attribution actually observed (`spawned + advanced` work units), via
+/// [`ShardedDetector::apply_measured_costs`]. Costs are floored at 1: a registered
+/// query's bookkeeping is never free, and a zero load would make the greedy
+/// assignment dump every subsequent registration on one shard.
+#[derive(Debug, Clone, Default)]
+pub struct MeasuredCost {
+    by_query: HashMap<QueryId, u64>,
+}
+
+impl MeasuredCost {
+    /// Distills a cost report into per-query work units (`cost_units`, floored at 1).
+    pub fn from_report(report: &QueryCostReport) -> Self {
+        Self {
+            by_query: report
+                .rows
+                .iter()
+                .map(|(id, cost)| (*id, cost.cost_units().max(1)))
+                .collect(),
+        }
+    }
+
+    /// The measured cost of one global query id, if the report covered it.
+    pub fn cost_of(&self, query: QueryId) -> Option<u64> {
+        self.by_query.get(&query).copied()
+    }
+
+    /// Number of queries with a measured cost.
+    pub fn len(&self) -> usize {
+        self.by_query.len()
+    }
+
+    /// Whether no query has a measured cost.
+    pub fn is_empty(&self) -> bool {
+        self.by_query.is_empty()
+    }
+}
+
 /// Minimum batch size worth fanning out to worker threads. Spawning and joining a
 /// scoped thread costs tens of microseconds; below this many events the per-shard work
 /// is usually smaller than that, so the pool processes the batch inline instead.
@@ -229,6 +271,10 @@ pub struct ShardedDetector {
     /// are recorded once for the whole pool, so the per-shard detectors stay
     /// recorder-free (no input is logged twice).
     durability: Option<Durability>,
+    /// Pool-level profiler handle for `pool.batch` / `pool.merge` spans. The same
+    /// handle is forwarded to every shard detector, so shard-phase spans aggregate
+    /// into the one span map regardless of which worker thread they ran on.
+    profiler: Option<Profiler>,
 }
 
 impl ShardedDetector {
@@ -267,6 +313,7 @@ impl ShardedDetector {
             sink: None,
             last_evicted: vec![0; shards],
             durability: None,
+            profiler: None,
         }
     }
 
@@ -312,6 +359,96 @@ impl ShardedDetector {
                 .detector
                 .set_instruments(Some(DetectorInstruments::register(registry, &prefix)));
         }
+    }
+
+    /// Attaches (or with `None`, detaches) a shared scoped-span [`Profiler`].
+    ///
+    /// One handle serves the whole pool: the pool times `pool.batch` / `pool.merge`
+    /// around fan-out and merge, and every shard detector gets a clone so its
+    /// per-phase spans (`detector.batch`, `resolve_static`, …) land in the same
+    /// aggregated span map — span stacks are thread-local, so worker threads nest
+    /// correctly without coordination. Profiling is inert: detections are identical
+    /// with and without it (checked in `tests/instrumentation_parity.rs`).
+    pub fn set_profiler(&mut self, profiler: Option<Profiler>) {
+        for shard in &mut self.shards {
+            shard.detector.set_profiler(profiler.clone());
+        }
+        self.profiler = profiler;
+    }
+
+    /// Enables sampled per-query cost attribution on every shard (see
+    /// [`Detector::enable_cost_attribution`]). Counters are exact; wall time is
+    /// sampled one event in `sample_interval`. Read the merged result with
+    /// [`ShardedDetector::query_cost_report`].
+    pub fn enable_cost_attribution(&mut self, sample_interval: u64) {
+        for shard in &mut self.shards {
+            shard.detector.enable_cost_attribution(sample_interval);
+        }
+    }
+
+    /// Turns cost attribution off on every shard and discards the accumulated costs.
+    pub fn disable_cost_attribution(&mut self) {
+        for shard in &mut self.shards {
+            shard.detector.disable_cost_attribution();
+        }
+    }
+
+    /// The merged per-query cost report, keyed by *global* query ids (each shard's
+    /// local rows are remapped through its id table). `None` unless
+    /// [`ShardedDetector::enable_cost_attribution`] was called. Every registration —
+    /// live or deregistered — gets a row; queries the stream never touched report
+    /// all-zero cost.
+    pub fn query_cost_report(&self) -> Option<QueryCostReport> {
+        let mut sample_interval = None;
+        let mut merged: BTreeMap<usize, QueryCost> = BTreeMap::new();
+        for shard in &self.shards {
+            let Some((costs, interval)) = shard.detector.cost_attribution() else {
+                continue;
+            };
+            sample_interval.get_or_insert(interval);
+            for (local, &global) in shard.global_ids.iter().enumerate() {
+                let cost = costs.get(local).copied().unwrap_or_default();
+                merged.entry(global).or_default().merge(&cost);
+            }
+        }
+        Some(QueryCostReport {
+            rows: (0..self.placements.len())
+                .map(|id| (id, merged.get(&id).copied().unwrap_or_default()))
+                .collect(),
+            sample_interval: sample_interval?,
+        })
+    }
+
+    /// Replaces the static label-pair cost estimate of every live query that
+    /// `measured` covers with its *measured* cost, then recomputes the per-shard
+    /// loads from scratch. Placements do not move (`moved: 0` in the emitted
+    /// [`TraceEvent::ShardRebalance`]) — what changes is the balance subsequent
+    /// [`ShardedDetector::register`] calls see, so new queries fill in around the
+    /// load the pool actually observed rather than the load the postings index
+    /// predicted. Returns how many placements were updated.
+    pub fn apply_measured_costs(&mut self, measured: &MeasuredCost) -> usize {
+        let mut updated = 0;
+        for (id, placement) in self.placements.iter_mut().enumerate() {
+            if !placement.active {
+                continue;
+            }
+            if let Some(cost) = measured.cost_of(id) {
+                placement.cost = cost;
+                updated += 1;
+            }
+        }
+        self.loads = vec![0; self.shards.len()];
+        for placement in self.placements.iter().filter(|p| p.active) {
+            self.loads[placement.shard] += placement.cost;
+        }
+        if let Some(sink) = &self.sink {
+            sink.emit(&TraceEvent::ShardRebalance {
+                shards: self.shards.len(),
+                moved: 0,
+                loads: self.loads.clone(),
+            });
+        }
+        updated
     }
 
     /// Attaches (or with `None`, detaches) a pool-level structured trace sink.
@@ -516,6 +653,7 @@ impl ShardedDetector {
         if let Some(durability) = &mut self.durability {
             durability.record_events(events);
         }
+        let _batch_span = self.profiler.as_ref().map(|p| p.enter("pool.batch"));
         let results: Vec<Result<Vec<Detection>, BatchError>> =
             if !self.parallel || self.shards.len() == 1 || events.len() < PARALLEL_BATCH_MIN {
                 // A pool of one, a single-core machine (threads would only serialise),
@@ -539,6 +677,7 @@ impl ShardedDetector {
                 })
             };
 
+        let _merge_span = self.profiler.as_ref().map(|p| p.enter("pool.merge"));
         let mut merged = Vec::new();
         let mut failure: Option<(usize, GraphError)> = None;
         for result in results {
@@ -964,6 +1103,107 @@ mod tests {
             )
             .unwrap();
         probe.shard_of(second.id)
+    }
+
+    #[test]
+    fn cost_report_merges_shard_rows_to_global_ids() {
+        let mut pool = ShardedDetector::new(2);
+        let qa = pool
+            .register(
+                CompiledQuery::Temporal(TemporalPattern::single_edge(l(0), l(1))),
+                5,
+            )
+            .unwrap()
+            .id;
+        let qb = pool
+            .register(
+                CompiledQuery::Temporal(TemporalPattern::single_edge(l(0), l(1))),
+                5,
+            )
+            .unwrap()
+            .id;
+        assert_ne!(pool.shard_of(qa), pool.shard_of(qb));
+        assert!(
+            pool.query_cost_report().is_none(),
+            "no report before attribution is enabled"
+        );
+        pool.enable_cost_attribution(1);
+        pool.on_batch(&[ev(1, 0, 1, 0, 1), ev(2, 2, 3, 0, 1), ev(3, 4, 5, 0, 1)])
+            .unwrap();
+        pool.flush();
+        let report = pool.query_cost_report().expect("attribution is on");
+        assert_eq!(report.sample_interval, 1);
+        assert_eq!(
+            report.rows.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            vec![qa, qb],
+            "rows carry global ids in ascending order"
+        );
+        for &id in &[qa, qb] {
+            let cost = report.get(id).unwrap();
+            // Each query lives alone on its shard, so its row is exactly that
+            // shard's local row remapped — three seeds, three detections.
+            assert_eq!(cost.spawned, 3, "query {id}");
+            assert_eq!(cost.detections, 3, "query {id}");
+            assert!(cost.sampled_ns > 0, "interval 1 times every operation");
+        }
+    }
+
+    #[test]
+    fn measured_costs_rebalance_loads_and_steer_new_registrations() {
+        // The postings index predicts pair (0,1) is 100x hotter than (2,3) — but the
+        // live stream only ever carries (2,3) edges. Measured attribution must
+        // overturn the prediction.
+        let mut stats = LabelPairStats::new();
+        for _ in 0..100 {
+            stats.record(l(0), l(1));
+        }
+        stats.record(l(2), l(3));
+        let mut pool = ShardedDetector::with_stats(2, stats);
+        let predicted_hot = pool
+            .register(
+                CompiledQuery::Temporal(TemporalPattern::single_edge(l(0), l(1))),
+                5,
+            )
+            .unwrap()
+            .id;
+        let actually_hot = pool
+            .register(
+                CompiledQuery::Temporal(TemporalPattern::single_edge(l(2), l(3))),
+                5,
+            )
+            .unwrap()
+            .id;
+        let predicted_shard = pool.shard_of(predicted_hot);
+        let actual_shard = pool.shard_of(actually_hot);
+        assert_ne!(predicted_shard, actual_shard);
+        assert_eq!(pool.shard_loads()[predicted_shard], 100);
+        assert_eq!(pool.shard_loads()[actual_shard], 1);
+
+        pool.enable_cost_attribution(4);
+        let events: Vec<StreamEvent> = (1..=50).map(|ts| ev(ts, 0, 1, 2, 3)).collect();
+        pool.on_batch(&events).unwrap();
+        let measured = MeasuredCost::from_report(&pool.query_cost_report().unwrap());
+        assert_eq!(measured.len(), 2);
+        assert!(!measured.is_empty());
+        assert_eq!(
+            measured.cost_of(predicted_hot),
+            Some(1),
+            "a query the stream never touched floors at cost 1"
+        );
+        assert!(measured.cost_of(actually_hot).unwrap() >= 50);
+
+        assert_eq!(pool.apply_measured_costs(&measured), 2);
+        assert_eq!(pool.shard_loads()[predicted_shard], 1);
+        assert!(pool.shard_loads()[actual_shard] >= 50);
+        // Under the static estimate the next registration would avoid the
+        // predicted-hot shard; under measured costs it lands exactly there.
+        let next = pool
+            .register(
+                CompiledQuery::Temporal(TemporalPattern::single_edge(l(0), l(1))),
+                5,
+            )
+            .unwrap();
+        assert_eq!(pool.shard_of(next.id), predicted_shard);
     }
 
     #[test]

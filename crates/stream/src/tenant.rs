@@ -51,7 +51,8 @@ use crate::durability::Durability;
 use crate::error::{DeregisterError, RegisterError, TenantBatchError};
 use crate::registry::QueryTable;
 use crate::shard::{LabelPairStats, ShardedDetector, PARALLEL_BATCH_MIN};
-use obs::{Counter, Gauge, MetricsRegistry, TenantGroupStat};
+use obs::{Counter, Gauge, MetricsRegistry, Profiler, QueryCost, QueryCostReport, TenantGroupStat};
+use std::collections::BTreeMap;
 use tgraph::{GraphError, StreamEvent, TenantId, TenantedEvent};
 
 /// A detection attributed to the tenant whose stream produced it.
@@ -230,6 +231,13 @@ pub struct TenantPool {
     /// Pool-level write-ahead recorder: operations and tenant batches are recorded
     /// once at the demux front-end; per-tenant detectors stay recorder-free.
     durability: Option<Durability>,
+    /// Pool-level profiler for `tenant.batch` / `tenant.demux` spans; cloned into
+    /// every tenant detector (including tenants materialised later) so all spans
+    /// aggregate into the one map.
+    profiler: Option<Profiler>,
+    /// Cost-attribution sampling interval, remembered so tenants materialised after
+    /// [`TenantPool::enable_cost_attribution`] join the measurement mid-stream.
+    attribution_interval: Option<u64>,
 }
 
 impl TenantPool {
@@ -259,7 +267,70 @@ impl TenantPool {
             groups: (0..groups).map(|_| Group::new()).collect(),
             parallel: std::thread::available_parallelism().map_or(1, |n| n.get()) > 1,
             durability: None,
+            profiler: None,
+            attribution_interval: None,
         }
+    }
+
+    /// Attaches (or with `None`, detaches) a shared scoped-span [`Profiler`] across
+    /// the whole grid: the pool times `tenant.demux` / `tenant.batch`, and every
+    /// tenant's [`ShardedDetector`] — current and future — gets a clone so pool- and
+    /// detector-phase spans aggregate together. Inert: detections are identical with
+    /// and without it.
+    pub fn set_profiler(&mut self, profiler: Option<Profiler>) {
+        for group in &mut self.groups {
+            for (_, detector) in &mut group.tenants {
+                detector.set_profiler(profiler.clone());
+            }
+        }
+        self.profiler = profiler;
+    }
+
+    /// Enables sampled per-query cost attribution on every tenant, current and
+    /// future (see [`ShardedDetector::enable_cost_attribution`]). Read the summed
+    /// result with [`TenantPool::query_cost_report`].
+    pub fn enable_cost_attribution(&mut self, sample_interval: u64) {
+        self.attribution_interval = Some(sample_interval.max(1));
+        for group in &mut self.groups {
+            for (_, detector) in &mut group.tenants {
+                detector.enable_cost_attribution(sample_interval);
+            }
+        }
+    }
+
+    /// Turns cost attribution off everywhere and discards the accumulated costs.
+    pub fn disable_cost_attribution(&mut self) {
+        self.attribution_interval = None;
+        for group in &mut self.groups {
+            for (_, detector) in &mut group.tenants {
+                detector.disable_cost_attribution();
+            }
+        }
+    }
+
+    /// The per-query cost report summed across every tenant, keyed by the canonical
+    /// global query ids (every tenant runs the same query set, so rows add
+    /// meaningfully). `None` unless [`TenantPool::enable_cost_attribution`] was
+    /// called. Every registration gets a row, even with zero tenants materialised.
+    pub fn query_cost_report(&self) -> Option<QueryCostReport> {
+        let sample_interval = self.attribution_interval?;
+        let mut merged: BTreeMap<usize, QueryCost> = BTreeMap::new();
+        for group in &self.groups {
+            for (_, detector) in &group.tenants {
+                let Some(report) = detector.query_cost_report() else {
+                    continue;
+                };
+                for (id, cost) in &report.rows {
+                    merged.entry(*id).or_default().merge(cost);
+                }
+            }
+        }
+        Some(QueryCostReport {
+            rows: (0..self.canonical.slot_count())
+                .map(|id| (id, merged.get(&id).copied().unwrap_or_default()))
+                .collect(),
+            sample_interval,
+        })
     }
 
     /// Attaches (or with `None` detaches) a pool-level durability recorder. Attach
@@ -444,6 +515,12 @@ impl TenantPool {
             return;
         };
         let mut detector = ShardedDetector::with_stats(self.shards_per_tenant, self.stats.clone());
+        // New tenants join the pool's observability configuration mid-stream, so a
+        // late tenant's work is profiled and attributed like everyone else's.
+        detector.set_profiler(self.profiler.clone());
+        if let Some(interval) = self.attribution_interval {
+            detector.enable_cost_attribution(interval);
+        }
         for op in &self.journal {
             match op {
                 JournalOp::Register(query, window) => {
@@ -484,8 +561,10 @@ impl TenantPool {
         if let Some(durability) = &mut self.durability {
             durability.record_tenant_events(events);
         }
+        let _batch_span = self.profiler.as_ref().map(|p| p.enter("tenant.batch"));
         // Demux into per-group workloads, preserving arrival order per tenant and
         // remembering each event's global batch index for error attribution.
+        let demux_span = self.profiler.as_ref().map(|p| p.enter("tenant.demux"));
         let mut workloads: Vec<Vec<TenantWorkload>> =
             (0..self.groups.len()).map(|_| Vec::new()).collect();
         for (index, te) in events.iter().enumerate() {
@@ -501,6 +580,7 @@ impl TenantPool {
             entry.1.push(te.event);
             entry.2.push(index);
         }
+        drop(demux_span);
 
         let results: Vec<GroupOutcome> =
             if !self.parallel || self.groups.len() == 1 || events.len() < PARALLEL_BATCH_MIN {
@@ -844,6 +924,58 @@ mod tests {
         let mut plain = TenantPool::new(2, 1);
         plain.register(edge_query(), 5).unwrap();
         assert_eq!(plain.on_batch(&batch).unwrap(), out);
+    }
+
+    #[test]
+    fn cost_report_sums_across_tenants_and_covers_late_arrivals() {
+        let mut pool = TenantPool::new(2, 1);
+        let q = pool.register(edge_query(), 5).unwrap().id;
+        assert!(pool.query_cost_report().is_none());
+        pool.enable_cost_attribution(1);
+        let profiler = Profiler::new();
+        pool.set_profiler(Some(profiler.clone()));
+        pool.on_batch(&[
+            te(0, ev(1, 0, 1, 0, 1)),
+            te(0, ev(2, 0, 1, 0, 1)),
+            te(1, ev(1, 0, 1, 0, 1)),
+        ])
+        .unwrap();
+        let report = pool.query_cost_report().expect("attribution is on");
+        assert_eq!(report.rows.len(), 1);
+        assert_eq!(
+            report.get(q).unwrap().spawned,
+            3,
+            "rows sum over tenants: 2 from tenant 0 + 1 from tenant 1"
+        );
+        assert_eq!(report.get(q).unwrap().detections, 3);
+        // A tenant materialised *after* enabling joins the measurement and the
+        // shared profiler mid-stream.
+        pool.on_batch(&[te(7, ev(1, 0, 1, 0, 1))]).unwrap();
+        let report = pool.query_cost_report().unwrap();
+        assert_eq!(report.get(q).unwrap().spawned, 4);
+        let snapshot = profiler.snapshot();
+        assert!(snapshot.self_ns("tenant.batch") > 0);
+        assert!(snapshot.self_ns("tenant.batch;tenant.demux") > 0);
+        assert!(
+            snapshot
+                .spans
+                .keys()
+                .any(|path| path.contains("pool.batch")),
+            "tenant detectors share the pool profiler"
+        );
+        // Attribution and profiling are inert: a plain pool detects identically.
+        let mut plain = TenantPool::new(2, 1);
+        plain.register(edge_query(), 5).unwrap();
+        let out = plain
+            .on_batch(&[
+                te(0, ev(1, 0, 1, 0, 1)),
+                te(0, ev(2, 0, 1, 0, 1)),
+                te(1, ev(1, 0, 1, 0, 1)),
+            ])
+            .unwrap();
+        assert_eq!(out.len(), 3);
+        pool.disable_cost_attribution();
+        assert!(pool.query_cost_report().is_none());
     }
 
     #[test]

@@ -1,20 +1,27 @@
-//! Instrumentation inertness: attaching metrics and trace sinks to the streaming
-//! engine must not change a single detection.
+//! Instrumentation inertness: attaching metrics, trace sinks, a scoped-span
+//! profiler, and per-query cost attribution to the streaming engine must not change
+//! a single detection.
 //!
 //! The contract (`stream::instrument` module docs) is that observability is purely
-//! observational: an instrumented [`ShardedDetector`] — per-shard metric bundles AND
-//! a pool-level trace sink attached — produces a byte-identical detection list to an
-//! uninstrumented one, at every shard count. This test proves it over the committed
-//! fixture corpus of `tests/e2e_mine_detect.rs`: mine the training corpus, deploy the
-//! compiled queries twice (bare and instrumented), replay the held-out stream through
-//! both, and compare the formatted detection lines.
+//! observational: an instrumented [`ShardedDetector`] — per-shard metric bundles, a
+//! pool-level trace sink, a [`Profiler`], AND cost attribution attached — produces
+//! a byte-identical detection list to an uninstrumented one, at every shard count.
+//! This test proves it over the committed fixture corpus of
+//! `tests/e2e_mine_detect.rs`: mine the training corpus, deploy the compiled
+//! queries twice (bare and instrumented), replay the held-out stream through both,
+//! and compare the formatted detection lines.
 //!
 //! On the side, it pins the metrics the instrumented run must have recorded (event
-//! counts matching the stream, memory/occupancy high-water marks) and the lifecycle
-//! events the sink must have seen (one registration per deployed query, on the shard
-//! the pool reports).
+//! counts matching the stream, memory/occupancy high-water marks), the lifecycle
+//! events the sink must have seen (one registration per deployed query, on the
+//! shard the pool reports), the cost attribution (every deployed fixture query
+//! reports non-zero measured cost), and the profiler's collapsed-stack export
+//! (non-empty, covering the detector spans).
 
-use behavior_query::obs::{CollectingSink, MetricsRegistry, SharedSink, TraceEvent};
+use behavior_query::obs::{
+    CollectingSink, MetricsRegistry, ProfileSnapshot, Profiler, QueryCostReport, SharedSink,
+    TraceEvent,
+};
 use behavior_query::query::QueryOptions;
 use behavior_query::stream::{Detection, DiscoveryPipeline, ShardedDetector};
 use behavior_query::syscall::{Behavior, LabeledTrace, TraceLabel};
@@ -108,21 +115,35 @@ fn lines_of(detections: &[Detection]) -> Vec<String> {
         .collect()
 }
 
+/// Everything one replay yields: the detection lines plus the observability state
+/// for the side assertions (`profile`/`costs` only on instrumented runs).
+struct Replay {
+    lines: Vec<String>,
+    registry: MetricsRegistry,
+    sink: Arc<CollectingSink>,
+    deployed: usize,
+    profile: Option<ProfileSnapshot>,
+    costs: Option<QueryCostReport>,
+}
+
 /// Runs the full replay; with `instrumented` the detector carries per-shard metric
-/// bundles and a pool-level collecting sink. Returns the detection lines plus the
-/// observability state for the side assertions.
+/// bundles, a pool-level collecting sink, a scoped-span profiler, and per-query
+/// cost attribution (every operation timed: sample interval 1).
 fn replay(
     pipeline: &DiscoveryPipeline,
     stream: &[StreamEvent],
     shards: usize,
     instrumented: bool,
-) -> (Vec<String>, MetricsRegistry, Arc<CollectingSink>, usize) {
+) -> Replay {
     let registry = MetricsRegistry::new();
     let sink = Arc::new(CollectingSink::default());
+    let profiler = Profiler::new();
     let mut detector = ShardedDetector::with_stats(shards, pipeline.stats().clone());
     if instrumented {
         detector.instrument(&registry);
         detector.set_trace_sink(Some(SharedSink::from_arc(sink.clone())));
+        detector.set_profiler(Some(profiler.clone()));
+        detector.enable_cost_attribution(1);
     }
     let deployed = pipeline
         .deploy_all(&mut detector, WINDOW)
@@ -134,7 +155,14 @@ fn replay(
         ));
     }
     lines.extend(lines_of(&detector.flush()));
-    (lines, registry, sink, deployed.len())
+    Replay {
+        lines,
+        registry,
+        sink,
+        deployed: deployed.len(),
+        profile: instrumented.then(|| profiler.snapshot()),
+        costs: detector.query_cost_report(),
+    }
 }
 
 #[test]
@@ -143,8 +171,15 @@ fn instrumented_detections_are_byte_identical_at_1_2_and_4_shards() {
     let stream = held_out_stream();
     assert!(!stream.is_empty(), "fixture stream is non-empty");
     for shards in [1usize, 2, 4] {
-        let (bare, ..) = replay(&pipeline, &stream, shards, false);
-        let (instrumented, registry, sink, deployed) = replay(&pipeline, &stream, shards, true);
+        let bare_run = replay(&pipeline, &stream, shards, false);
+        let (bare, deployed) = (bare_run.lines, bare_run.deployed);
+        assert!(
+            bare_run.costs.is_none(),
+            "a bare run accumulates no cost attribution"
+        );
+        let run = replay(&pipeline, &stream, shards, true);
+        let (instrumented, registry, sink) = (run.lines, run.registry, run.sink);
+        assert_eq!(run.deployed, deployed);
         assert!(
             !bare.is_empty(),
             "the fixture loop detects at {shards} shard(s)"
@@ -153,6 +188,59 @@ fn instrumented_detections_are_byte_identical_at_1_2_and_4_shards() {
             instrumented, bare,
             "instrumentation changed detections at {shards} shard(s)"
         );
+
+        // Cost attribution measured every deployed fixture query: seeds fire for
+        // each (the corpus exercises every mined query), so cost and wall time are
+        // non-zero across the board, and detections attribute completely.
+        let costs = run.costs.expect("attribution was enabled");
+        assert_eq!(
+            costs.rows.len(),
+            deployed,
+            "one cost row per deployed query at {shards} shard(s)"
+        );
+        for (id, cost) in &costs.rows {
+            assert!(
+                cost.cost_units() > 0,
+                "query {id} reports zero measured work at {shards} shard(s)"
+            );
+            assert!(
+                cost.sampled_ns > 0,
+                "query {id} reports zero measured wall time at {shards} shard(s)"
+            );
+        }
+        let attributed_detections: u64 = costs.rows.iter().map(|(_, c)| c.detections).sum();
+        assert_eq!(
+            attributed_detections,
+            bare.len() as u64,
+            "every detection is attributed to a query at {shards} shard(s)"
+        );
+        // Exporting publishes `query.<id>.*` counters into the registry.
+        costs.export(&registry);
+
+        // The profiler saw the batch spans; its collapsed-stack export is non-empty
+        // and flamegraph-shaped (`path self_ns` lines).
+        let profile = run.profile.expect("profiler was attached");
+        let collapsed = profile.render_collapsed();
+        assert!(
+            collapsed.lines().count() > 0,
+            "collapsed-stack export is non-empty at {shards} shard(s)"
+        );
+        assert!(
+            profile.spans.keys().any(|path| path.contains("pool.batch")),
+            "pool batch spans were recorded at {shards} shard(s)"
+        );
+        assert!(
+            profile
+                .spans
+                .keys()
+                .any(|path| path.contains("detector.batch")),
+            "detector batch spans were recorded at {shards} shard(s)"
+        );
+        for line in collapsed.lines() {
+            let (path, self_ns) = line.rsplit_once(' ').expect("`path self_ns` shape");
+            assert!(!path.is_empty());
+            assert!(self_ns.parse::<u64>().is_ok(), "malformed line {line:?}");
+        }
 
         // Side contract: the metrics recorded what actually flowed. Every shard sees
         // every event (queries are partitioned, the stream is not).
@@ -187,6 +275,13 @@ fn instrumented_detections_are_byte_identical_at_1_2_and_4_shards() {
             memory_high_water > 0,
             "a replay that buffered state has a memory high-water mark"
         );
+        for (id, cost) in &costs.rows {
+            assert_eq!(
+                snapshot.counter(&format!("query.{id}.spawned")),
+                Some(cost.spawned),
+                "exported query.{id}.spawned counter at {shards} shard(s)"
+            );
+        }
 
         // And the sink saw one registration per deployed query, each on the shard the
         // pool's placement reports.
