@@ -22,7 +22,10 @@
 //!   noise headroom);
 //! * `extra.durability_overhead_pct` — fresh value under
 //!   `BQ_DIFF_MAX_DURABILITY_OVERHEAD_PCT` (default 150; tiny-scale durability
-//!   runs measure ~60%).
+//!   runs measure ~60%). The ceiling only applies when baseline and fresh carry
+//!   the same `extra.sync_policy` — overhead measured under `always` prices a
+//!   real fsync per record and is not comparable to a `never` baseline, so a
+//!   policy mismatch downgrades this check to a note.
 //!
 //! Latency percentiles and memory high-water changes are reported as notes, never
 //! failures (log-scale histograms and allocator behavior are too machine-dependent

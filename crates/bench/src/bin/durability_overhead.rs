@@ -18,9 +18,22 @@
 //! recovery smoke check.
 //!
 //! `BQ_SCALE` selects the dataset size, `BQ_BENCH_DIR` the artifact directory.
+//! `BQ_SYNC` picks the fsync policy every logged run prices in (`never`, the
+//! default; `every_n` = every 8th record; `always`) and is stamped into the
+//! artifact as `extra.sync_policy` — `bench_diff` skips the durability ceiling
+//! when baseline and fresh were measured under different policies.
+//!
+//! `BQ_FAULTS` switches the bin into its chaos smoke mode: the spec (see
+//! [`faults::FaultPlan::parse`], e.g. `wal.fsync=every:3`) is armed on one logged
+//! run, which must keep detection parity with a bare run and end with the WAL in
+//! typed degraded mode with its injected I/O errors counted — exit 1 otherwise.
+//! No artifact is written. `BQ_WAL_RETRIES` sets the retry budget (default 0:
+//! every retry advances an every-Nth schedule, so a non-zero budget can heal
+//! forever and never latch); `BQ_FAULT_SEED` seeds probability schedules.
 
 use bench::{print_header, print_row, secs, test_data, training_data, write_bench_report, Scale};
-use durable::{recover_sharded, Wal, WalConfig};
+use durable::{recover_sharded, RetryPolicy, SyncPolicy, Wal, WalConfig, WalStatus};
+use faults::FaultPlan;
 use obs::{BenchReport, Json, LatencySummary, MetricsRegistry};
 use query::{formulate_queries, QueryOptions};
 use std::path::PathBuf;
@@ -41,6 +54,39 @@ fn wal_dir(tag: &str) -> PathBuf {
     ))
 }
 
+/// The fsync policy under measurement, from `BQ_SYNC`.
+fn sync_policy() -> SyncPolicy {
+    match std::env::var("BQ_SYNC").as_deref() {
+        Ok("never") | Err(_) => SyncPolicy::Never,
+        Ok("every_n") => SyncPolicy::EveryNRecords(8),
+        Ok("always") => SyncPolicy::Always,
+        Ok(other) => {
+            eprintln!("[durability] unknown BQ_SYNC {other:?} (never | every_n | always)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Every logged run — parity, paired passes, artifact — prices the same policy.
+fn wal_config() -> WalConfig {
+    WalConfig {
+        sync: sync_policy(),
+        ..WalConfig::default()
+    }
+}
+
+/// Registers the standard `QUERY_COUNT`-query workload on `detector`.
+fn register_pool(detector: &mut ShardedDetector, pool: &[(String, CompiledQuery)], window: u64) {
+    for i in 0..QUERY_COUNT {
+        let (_, query) = &pool[i % pool.len()];
+        let cycle = (i / pool.len()) as u64;
+        let w = (window / (cycle + 1)).max(1);
+        detector
+            .register(query.clone(), w)
+            .expect("mined queries are valid");
+    }
+}
+
 struct RunResult {
     elapsed: Duration,
     detections: usize,
@@ -57,19 +103,12 @@ fn run_once(
 ) -> RunResult {
     let mut detector = ShardedDetector::with_stats(1, stats.clone());
     let wal = wal.map(|dir| {
-        let wal = Wal::create(dir, WalConfig::default()).expect("writable log dir");
+        let wal = Wal::create(dir, wal_config()).expect("writable log dir");
         wal.attach_sharded(&mut detector, stats)
             .expect("fresh detector");
         wal
     });
-    for i in 0..QUERY_COUNT {
-        let (_, query) = &pool[i % pool.len()];
-        let cycle = (i / pool.len()) as u64;
-        let w = (window / (cycle + 1)).max(1);
-        detector
-            .register(query.clone(), w)
-            .expect("mined queries are valid");
-    }
+    register_pool(&mut detector, pool, window);
     let mut detections = 0usize;
     let start = Instant::now();
     for batch in source.batches() {
@@ -131,9 +170,20 @@ fn main() {
     let source = StreamSource::from_test_data(&test, 4096);
 
     println!(
-        "durability_overhead (scale {}, {events} events, window {window}, {QUERY_COUNT} queries)",
+        "durability_overhead (scale {}, {events} events, window {window}, {QUERY_COUNT} queries, \
+         sync {})",
         scale.name(),
+        sync_policy().name(),
     );
+
+    if let Ok(spec) = std::env::var("BQ_FAULTS") {
+        // Fine-grained batches: at tiny scale the measurement source is a single
+        // batch, which would give an every-Nth schedule one hit and no chance to
+        // fire. 64-event batches drive enough appends (and periodic fsyncs) for
+        // the plan to actually bite; batching never changes detection counts.
+        let chaos_source = StreamSource::from_test_data(&test, 64);
+        fault_smoke(&spec, &chaos_source, &stats, &pool, window);
+    }
 
     // Logging must not change behavior: the bare and logged runs detect identically.
     {
@@ -147,13 +197,24 @@ fn main() {
         );
     }
 
+    run_measurement(scale, &source, &stats, &pool, window, events);
+}
+
+fn run_measurement(
+    scale: Scale,
+    source: &StreamSource,
+    stats: &LabelPairStats,
+    pool: &[(String, CompiledQuery)],
+    window: u64,
+    events: usize,
+) {
     // Paired bare/logged passes; each pass accumulates >=25ms of replay work.
     let pass = |logged: bool| {
         let mut total = Duration::ZERO;
         let mut reps = 0u32;
         while reps == 0 || total < Duration::from_millis(25) {
             let dir = logged.then(|| wal_dir("pass"));
-            total += run_once(&source, &stats, &pool, window, dir.as_ref()).elapsed;
+            total += run_once(source, stats, pool, window, dir.as_ref()).elapsed;
             if let Some(dir) = dir {
                 std::fs::remove_dir_all(dir).expect("cleanup");
             }
@@ -194,20 +255,13 @@ fn main() {
     // timed recovery from the resulting log.
     let registry = MetricsRegistry::new();
     let dir = wal_dir("artifact");
-    let wal = Wal::create(&dir, WalConfig::default()).expect("writable log dir");
+    let wal = Wal::create(&dir, wal_config()).expect("writable log dir");
     wal.instrument(&registry);
     let mut detector = ShardedDetector::with_stats(1, stats.clone());
-    wal.attach_sharded(&mut detector, &stats)
+    wal.attach_sharded(&mut detector, stats)
         .expect("fresh detector");
     detector.instrument(&registry);
-    for i in 0..QUERY_COUNT {
-        let (_, query) = &pool[i % pool.len()];
-        let cycle = (i / pool.len()) as u64;
-        let w = (window / (cycle + 1)).max(1);
-        detector
-            .register(query.clone(), w)
-            .expect("mined queries are valid");
-    }
+    register_pool(&mut detector, pool, window);
     let batch_latency = registry.histogram("bench.batch_latency_ns");
     let batches = source.batches().count();
     let mut detections = 0usize;
@@ -231,7 +285,7 @@ fn main() {
     drop(wal);
 
     let recovery_start = Instant::now();
-    let recovered = recover_sharded(&dir, WalConfig::default()).expect("recoverable log");
+    let recovered = recover_sharded(&dir, wal_config()).expect("recoverable log");
     let recovery = recovery_start.elapsed();
     assert!(recovered.damage.is_none(), "bench log must recover cleanly");
     assert_eq!(
@@ -273,6 +327,7 @@ fn main() {
     report.shards = shard_stats;
     report.extra = vec![
         ("durability_overhead_pct".into(), Json::Num(overhead_pct)),
+        ("sync_policy".into(), Json::Str(sync_policy().name().into())),
         (
             "paired_passes".into(),
             Json::Obj(vec![
@@ -299,6 +354,10 @@ fn main() {
                 (
                     "snapshots_total".into(),
                     Json::from_u64(counter("durable.snapshots_total")),
+                ),
+                (
+                    "fsyncs_total".into(),
+                    Json::from_u64(counter("durable.fsyncs_total")),
                 ),
             ]),
         ),
@@ -328,4 +387,98 @@ fn main() {
         eprintln!("[durability] failed to write bench report: {error}");
         std::process::exit(1);
     }
+}
+
+/// The `BQ_FAULTS` chaos smoke: one logged run under the armed plan. Detections
+/// must match a bare run exactly (durability faults never touch the hot path's
+/// results), and the WAL must end in typed degraded mode with every injected
+/// fault counted — the self-healing contract, exercised on real mined queries.
+/// Exits 0 on success, 1 on any violated expectation; never writes an artifact.
+fn fault_smoke(
+    spec: &str,
+    source: &StreamSource,
+    stats: &LabelPairStats,
+    pool: &[(String, CompiledQuery)],
+    window: u64,
+) -> ! {
+    let seed = std::env::var("BQ_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7);
+    let plan = match FaultPlan::parse(spec, seed) {
+        Ok(plan) => plan,
+        Err(message) => {
+            eprintln!("[durability] bad BQ_FAULTS: {message}");
+            std::process::exit(2);
+        }
+    };
+    let retries: u32 = std::env::var("BQ_WAL_RETRIES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let config = WalConfig {
+        sync: sync_policy(),
+        retry: RetryPolicy {
+            attempts: retries,
+            backoff_base_ms: 0,
+            backoff_cap_ms: 0,
+        },
+        ..WalConfig::default()
+    };
+    println!(
+        "fault smoke: plan {:?} (seed {seed}, retries {retries}, sync {})",
+        plan.armed_points(),
+        config.sync.name(),
+    );
+
+    let bare = run_once(source, stats, pool, window, None);
+
+    let registry = MetricsRegistry::new();
+    let dir = wal_dir("faults");
+    let wal = Wal::create(&dir, config).expect("writable log dir");
+    wal.instrument(&registry);
+    let mut detector = ShardedDetector::with_stats(1, stats.clone());
+    wal.attach_sharded(&mut detector, stats)
+        .expect("fresh detector");
+    register_pool(&mut detector, pool, window);
+    wal.set_fault_plan(plan.clone());
+    let mut detections = 0usize;
+    for batch in source.batches() {
+        detections += detector
+            .on_batch(batch)
+            .expect("durability faults never fail the engine")
+            .len();
+    }
+    detections += detector.flush().len();
+
+    let status = wal.status();
+    let io_errors = wal.io_errors();
+    let dropped = wal.dropped_ops();
+    println!(
+        "fault smoke: {} fired, {io_errors} I/O errors, {dropped} dropped ops, status {status:?}",
+        plan.total_fired(),
+    );
+    let snapshot = registry.snapshot();
+    let mut failed = false;
+    if detections != bare.detections {
+        eprintln!(
+            "[durability] FAIL: faults changed detections (bare {}, faulted {detections})",
+            bare.detections
+        );
+        failed = true;
+    }
+    if status != WalStatus::Degraded {
+        eprintln!("[durability] FAIL: expected the armed WAL to end degraded, got {status:?}");
+        failed = true;
+    }
+    if io_errors == 0 {
+        eprintln!("[durability] FAIL: degraded without counted I/O errors");
+        failed = true;
+    }
+    if snapshot.counter("durable.io_errors_total").unwrap_or(0) != io_errors {
+        eprintln!("[durability] FAIL: durable.io_errors_total disagrees with the handle");
+        failed = true;
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+    std::process::exit(i32::from(failed));
 }

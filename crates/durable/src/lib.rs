@@ -28,8 +28,15 @@
 //!
 //! Segments are append-only and never extended after a restart (a fresh segment is
 //! opened instead), so torn bytes from a crash can never swallow later records. Old
-//! segments are kept; [`read_logged_events`] / [`read_logged_tenant_events`] turn
-//! them back into replayable streams for time-travel debugging.
+//! segments are kept by default; [`read_logged_events`] / [`read_logged_tenant_events`]
+//! turn them back into replayable streams for time-travel debugging, and an opt-in
+//! [`SnapshotPolicy`] with GC trades that history for bounded disk use.
+//!
+//! The log is also self-healing and chaos-testable: [`SyncPolicy`] controls fsync
+//! cadence, [`RetryPolicy`] bounds retry-with-backoff on transient I/O errors
+//! before the log enters a sticky typed degraded mode ([`wal::WalStatus`]), and
+//! [`Wal::set_fault_plan`] arms a deterministic [`faults::FaultPlan`] on every I/O
+//! site (`wal.append`, `wal.fsync`, `wal.rotate`, `snapshot.write`).
 
 pub mod codec;
 pub mod crc32;
@@ -46,7 +53,7 @@ pub use recover::{
     recover_detector, recover_detector_tolerant, recover_pool, recover_pool_tolerant,
     recover_sharded, recover_sharded_tolerant, Recovered, RecoveredRegistration,
 };
-pub use wal::{Wal, WalConfig};
+pub use wal::{RetryPolicy, SnapshotPolicy, SyncPolicy, Wal, WalConfig, WalStatus};
 
 use segment::{parse_segment_index, segment_file_name, FrameReader};
 use std::path::Path;

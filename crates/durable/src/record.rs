@@ -13,6 +13,7 @@
 //! | 5   | `TenantBatch`      | a delivered [`TenantedEvent`] batch                     |
 //! | 6   | `SnapshotHeader`   | snapshot files only: engine shape + replay-horizon state |
 //! | 7   | `SnapshotFooter`   | snapshot files only: op count (completeness check)      |
+//! | 8   | `Quiesce`          | a silent tenant was flushed and evicted (logged before) |
 
 use crate::codec::{put_len, put_u32, put_u64, put_u8, CodecError, Reader};
 use query::compile::CompiledQuery;
@@ -128,6 +129,13 @@ pub enum WalRecord {
     SnapshotFooter {
         /// Op records between header and footer.
         ops: u64,
+    },
+    /// A silent tenant was quiesced: flushed (pending detections emitted) and
+    /// evicted from its group. Logged before the eviction so replay drains the
+    /// same pending state at the same point in the op sequence.
+    Quiesce {
+        /// The evicted tenant (raw id).
+        tenant: u64,
     },
 }
 
@@ -338,6 +346,10 @@ impl WalRecord {
                 put_u8(&mut buf, 7);
                 put_u64(&mut buf, *ops);
             }
+            WalRecord::Quiesce { tenant } => {
+                put_u8(&mut buf, 8);
+                put_u64(&mut buf, *tenant);
+            }
         }
         buf
     }
@@ -413,6 +425,9 @@ impl WalRecord {
             }
             7 => WalRecord::SnapshotFooter {
                 ops: reader.u64("op count")?,
+            },
+            8 => WalRecord::Quiesce {
+                tenant: reader.u64("tenant id")?,
             },
             other => return Err(CodecError::new(format!("unknown record tag {other}"))),
         };
@@ -494,6 +509,7 @@ mod tests {
                 floors: vec![(0, vec![81, 0])],
             }),
             WalRecord::SnapshotFooter { ops: 12 },
+            WalRecord::Quiesce { tenant: 11 },
         ];
         for record in records {
             let decoded = WalRecord::decode(&record.encode())

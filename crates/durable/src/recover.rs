@@ -62,6 +62,13 @@ pub struct Recovered<E> {
     pub segments_replayed: u64,
     /// Operations replayed (snapshot tail + log suffix).
     pub records_replayed: u64,
+    /// Intact records tolerant recovery had to drop because they sit in segments
+    /// *after* the damage point (recovery never skips past a tear). 0 under strict
+    /// recovery or when the damaged segment is the last one.
+    pub records_dropped: u64,
+    /// Unreadable bytes at and after the damage point — the damaged frame plus the
+    /// unframed remainder of its segment (and of any later damaged segment).
+    pub bytes_unreadable: u64,
 }
 
 impl<E> Recovered<E> {
@@ -72,6 +79,8 @@ impl<E> Recovered<E> {
             segments: self.segments_replayed,
             records: self.records_replayed,
             queries: self.registrations.len() as u64,
+            dropped: self.records_dropped,
+            damage: self.damage.as_ref().map(WalDamage::to_string),
         }
     }
 }
@@ -85,6 +94,8 @@ struct LoadedLog {
     state: TailState,
     damage: Option<WalDamage>,
     segments_replayed: u64,
+    records_dropped: u64,
+    bytes_unreadable: u64,
 }
 
 fn divergence(detail: impl Into<String>) -> DurableError {
@@ -127,10 +138,13 @@ fn load_log(dir: &Path, tolerant: bool) -> Result<LoadedLog, DurableError> {
 
     let mut damage = None;
     let mut segments_replayed = 0u64;
-    'segments: for &index in crate::segment::list_indices(dir, parse_segment_index)?
-        .iter()
-        .filter(|&&i| i >= first_segment)
-    {
+    let mut records_dropped = 0u64;
+    let mut bytes_unreadable = 0u64;
+    let indices: Vec<u64> = crate::segment::list_indices(dir, parse_segment_index)?
+        .into_iter()
+        .filter(|&i| i >= first_segment)
+        .collect();
+    'segments: for (position, &index) in indices.iter().enumerate() {
         let path = dir.join(segment_file_name(index));
         let mut reader = FrameReader::open(&path)?;
         segments_replayed += 1;
@@ -141,8 +155,24 @@ fn load_log(dir: &Path, tolerant: bool) -> Result<LoadedLog, DurableError> {
                 Err(found) => {
                     if tolerant {
                         // Nothing at or after a tear is trustworthy — in this
-                        // segment or any later one.
+                        // segment or any later one. Account exactly for what the
+                        // truncation costs: the unreadable remainder of this
+                        // segment, plus every intact record in later segments.
                         damage = Some(found);
+                        bytes_unreadable += reader.remaining_bytes();
+                        for &later in &indices[position + 1..] {
+                            let mut tail = FrameReader::open(dir.join(segment_file_name(later)))?;
+                            loop {
+                                match tail.next() {
+                                    Ok(Some(_)) => records_dropped += 1,
+                                    Ok(None) => break,
+                                    Err(_) => {
+                                        bytes_unreadable += tail.remaining_bytes();
+                                        break;
+                                    }
+                                }
+                            }
+                        }
                         break 'segments;
                     }
                     return Err(DurableError::Damage(found));
@@ -189,6 +219,8 @@ fn load_log(dir: &Path, tolerant: bool) -> Result<LoadedLog, DurableError> {
         state,
         damage,
         segments_replayed,
+        records_dropped,
+        bytes_unreadable,
     })
 }
 
@@ -203,6 +235,7 @@ trait RecoverEngine: Sized {
     fn replay_deregister(&mut self, id: QueryId) -> Result<(), String>;
     fn replay_batch(&mut self, events: &[StreamEvent]) -> Result<(), String>;
     fn replay_tenant_batch(&mut self, events: &[TenantedEvent]) -> Result<(), String>;
+    fn replay_quiesce(&mut self, tenant: TenantId) -> Result<(), String>;
     fn restore_floors(&mut self, floors: &[(u64, Vec<u64>)]) -> Result<(), String>;
     fn attach(&mut self, durability: Durability);
 }
@@ -235,6 +268,10 @@ impl RecoverEngine for Detector {
 
     fn replay_tenant_batch(&mut self, _events: &[TenantedEvent]) -> Result<(), String> {
         Err("tenant batch in a detector log".into())
+    }
+
+    fn replay_quiesce(&mut self, _tenant: TenantId) -> Result<(), String> {
+        Err("tenant quiesce in a detector log".into())
     }
 
     fn restore_floors(&mut self, floors: &[(u64, Vec<u64>)]) -> Result<(), String> {
@@ -278,6 +315,10 @@ impl RecoverEngine for ShardedDetector {
         Err("tenant batch in a sharded-detector log".into())
     }
 
+    fn replay_quiesce(&mut self, _tenant: TenantId) -> Result<(), String> {
+        Err("tenant quiesce in a sharded-detector log".into())
+    }
+
     fn restore_floors(&mut self, floors: &[(u64, Vec<u64>)]) -> Result<(), String> {
         for (tenant, shard_floors) in floors {
             if *tenant != 0 || shard_floors.len() != self.shard_count() {
@@ -319,6 +360,13 @@ impl RecoverEngine for TenantPool {
 
     fn replay_tenant_batch(&mut self, events: &[TenantedEvent]) -> Result<(), String> {
         let _ = self.on_batch(events);
+        Ok(())
+    }
+
+    fn replay_quiesce(&mut self, tenant: TenantId) -> Result<(), String> {
+        // The live eviction's flush detections were already emitted; replay only
+        // needs the state change (eviction + saved floors).
+        let _ = self.quiesce_tenant(tenant);
         Ok(())
     }
 
@@ -395,6 +443,9 @@ fn recover_engine<E: RecoverEngine>(
             TailOp::TenantBatch(events) => {
                 engine.replay_tenant_batch(events).map_err(divergence)?
             }
+            TailOp::Quiesce { tenant } => engine
+                .replay_quiesce(TenantId(*tenant))
+                .map_err(divergence)?,
         }
     }
     // Floors restore *after* replay: `restore_*` ratchets (never lowers), so the
@@ -421,6 +472,8 @@ fn recover_engine<E: RecoverEngine>(
         damage: loaded.damage,
         segments_replayed: loaded.segments_replayed,
         records_replayed,
+        records_dropped: loaded.records_dropped,
+        bytes_unreadable: loaded.bytes_unreadable,
     })
 }
 

@@ -3,9 +3,10 @@
 //! A frame is `[len: u32 LE][crc32: u32 LE][payload]` — the length covers the payload
 //! only, the CRC-32 ([`crate::crc32`]) is over the payload. Log segments are named
 //! `wal-NNNNNN.log` and snapshots `snapshot-NNNNNN.snap`; the shared index ties a
-//! snapshot to the segment replay resumes at. Old segments are never deleted — the
-//! full event history stays replayable for time-travel debugging
-//! ([`crate::read_logged_events`]).
+//! snapshot to the segment replay resumes at. By default old segments are never
+//! deleted — the full event history stays replayable for time-travel debugging
+//! ([`crate::read_logged_events`]) — but an opt-in [`crate::SnapshotPolicy`] with
+//! `gc` enabled deletes segments a successful snapshot fully covers.
 
 use crate::crc32::crc32;
 use crate::error::{DurableError, WalDamage};
@@ -89,6 +90,12 @@ impl FrameReader {
     /// The file being read.
     pub fn file(&self) -> &PathBuf {
         &self.file
+    }
+
+    /// Bytes not yet consumed. After [`FrameReader::next`] returns damage, this is
+    /// exactly the unreadable remainder — the damaged frame and everything after it.
+    pub fn remaining_bytes(&self) -> u64 {
+        (self.bytes.len() - self.pos) as u64
     }
 
     /// The next frame as `(frame_offset, payload)`, `None` at a clean end of file.

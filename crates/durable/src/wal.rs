@@ -8,18 +8,28 @@
 //! framed, checksummed, and appended *before* the engine applies it — so a crash at
 //! any record boundary loses nothing that reached the engine.
 //!
-//! Appends are infallible from the engine's point of view: the first I/O failure is
-//! latched and every later append becomes a no-op, surfacing through
-//! [`Wal::take_error`] (and failing the next snapshot) instead of panicking the hot
-//! path. Records are written with plain unbuffered `write_all` — there is no
-//! user-space buffer to lose, so "kill at a record boundary" is exactly the
-//! durability granularity.
+//! Appends are infallible from the engine's point of view: a transient I/O failure
+//! is retried under [`RetryPolicy`] (with the partial frame truncated away first);
+//! once the budget is spent the log enters a sticky **degraded** mode — the engine
+//! keeps detecting, durability is suspended, and the condition surfaces through
+//! [`Wal::status`], the `durable.degraded` gauge, a `wal_error` trace event, and
+//! [`Wal::take_error`] (the next snapshot fails too). Records are written with plain
+//! unbuffered `write_all` — there is no user-space buffer to lose, so "kill at a
+//! record boundary" is exactly the durability granularity; [`SyncPolicy`] optionally
+//! tightens that to "kill anywhere" at fsync cost.
+//!
+//! Every I/O site consults an optional [`faults::FaultPlan`] (`wal.append`,
+//! `wal.fsync`, `wal.rotate`, `snapshot.write`) so chaos tests can drive each
+//! failure path deterministically — see `tests/chaos_parity.rs`.
 
 use crate::error::DurableError;
 use crate::record::{EngineKind, InitRecord, SnapshotHeader, WalRecord};
-use crate::segment::{parse_segment_index, segment_file_name, write_frame};
+use crate::segment::{
+    parse_segment_index, parse_snapshot_index, segment_file_name, snapshot_file_name, write_frame,
+};
 use crate::snapshot;
-use obs::{Counter, MetricsRegistry, SharedSink, TraceEvent};
+use faults::FaultPlan;
+use obs::{Counter, Gauge, MetricsRegistry, SharedSink, TraceEvent};
 use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
 use std::path::{Path, PathBuf};
@@ -28,19 +38,151 @@ use stream::{
     CompiledQuery, Detector, Durability, DurabilitySink, LabelPairStats, QueryId, ShardedDetector,
     TenantPool,
 };
-use tgraph::{StreamEvent, TenantedEvent};
+use tgraph::{StreamEvent, TenantId, TenantedEvent};
+
+/// When the log calls `fsync` (well, `fdatasync`) on the active segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// Never sync explicitly: durability granularity is the OS page cache. The
+    /// default — matches the pre-policy behavior.
+    #[default]
+    Never,
+    /// Sync once every `n` appended records (n = 1 behaves like `Always`).
+    EveryNRecords(u64),
+    /// Sync after every appended record.
+    Always,
+}
+
+impl SyncPolicy {
+    /// The policy's stable name, as reported in bench artifacts (`never`,
+    /// `every_n`, `always`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SyncPolicy::Never => "never",
+            SyncPolicy::EveryNRecords(_) => "every_n",
+            SyncPolicy::Always => "always",
+        }
+    }
+}
+
+/// Bounded retry-with-backoff for transient WAL I/O errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first failure; 0 latches on the first error.
+    pub attempts: u32,
+    /// Backoff before retry k is `base << (k - 1)` milliseconds…
+    pub backoff_base_ms: u64,
+    /// …capped here. A zero base never sleeps.
+    pub backoff_cap_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 3,
+            backoff_base_ms: 1,
+            backoff_cap_ms: 20,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries, no sleeping: the first failure latches immediately.
+    pub fn none() -> Self {
+        Self {
+            attempts: 0,
+            backoff_base_ms: 0,
+            backoff_cap_ms: 0,
+        }
+    }
+
+    fn backoff_ms(&self, attempt: u32) -> u64 {
+        if self.backoff_base_ms == 0 {
+            return 0;
+        }
+        self.backoff_base_ms
+            .checked_shl(attempt.saturating_sub(1))
+            .unwrap_or(u64::MAX)
+            .min(self.backoff_cap_ms)
+    }
+}
+
+/// Automatic snapshot cadence, checked by [`Wal::snapshot_due`] and the
+/// `maybe_snapshot_*` helpers. The default (`None`/`None`) never triggers —
+/// cadence stays the caller's choice, as before.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SnapshotPolicy {
+    /// Snapshot once this many records were logged since the last snapshot.
+    pub every_records: Option<u64>,
+    /// Snapshot once this many bytes were logged since the last snapshot.
+    pub every_bytes: Option<u64>,
+    /// After each successful snapshot, delete the segment and snapshot files the
+    /// new snapshot fully covers (everything below its anchor index). Trades the
+    /// tolerant-recovery fallback to *older* snapshots for bounded disk use.
+    pub gc: bool,
+}
+
+impl SnapshotPolicy {
+    /// Snapshot every `n` logged records.
+    pub fn every_records(n: u64) -> Self {
+        Self {
+            every_records: Some(n),
+            ..Self::default()
+        }
+    }
+
+    /// Snapshot every `n` logged bytes.
+    pub fn every_bytes(n: u64) -> Self {
+        Self {
+            every_bytes: Some(n),
+            ..Self::default()
+        }
+    }
+
+    /// The same policy with post-snapshot segment GC enabled.
+    pub fn with_gc(mut self) -> Self {
+        self.gc = true;
+        self
+    }
+
+    fn due(&self, records: u64, bytes: u64) -> bool {
+        self.every_records.is_some_and(|n| n > 0 && records >= n)
+            || self.every_bytes.is_some_and(|n| n > 0 && bytes >= n)
+    }
+}
+
+/// Whether a [`Wal`] is still logging. Degradation is sticky for the life of the
+/// handle: a hole in the log cannot be un-made, so once an append is dropped the
+/// only path back to durability is a fresh `Wal` (usually after recovery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalStatus {
+    /// Appends are reaching disk.
+    Healthy,
+    /// The retry budget was spent on an append; later ops are dropped (counted in
+    /// [`Wal::dropped_ops`]) and the engine runs without durability.
+    Degraded,
+}
 
 /// Tuning knobs for a [`Wal`].
 #[derive(Debug, Clone)]
 pub struct WalConfig {
     /// Rotate to a fresh segment once the current one reaches this many bytes.
     pub max_segment_bytes: u64,
+    /// When to fsync the active segment.
+    pub sync: SyncPolicy,
+    /// Retry budget for transient I/O errors.
+    pub retry: RetryPolicy,
+    /// Automatic snapshot cadence and segment GC.
+    pub snapshot: SnapshotPolicy,
 }
 
 impl Default for WalConfig {
     fn default() -> Self {
         Self {
             max_segment_bytes: 8 * 1024 * 1024,
+            sync: SyncPolicy::default(),
+            retry: RetryPolicy::default(),
+            snapshot: SnapshotPolicy::default(),
         }
     }
 }
@@ -60,6 +202,9 @@ pub(crate) enum TailOp {
     },
     Batch(Vec<StreamEvent>),
     TenantBatch(Vec<TenantedEvent>),
+    Quiesce {
+        tenant: u64,
+    },
 }
 
 impl TailOp {
@@ -79,6 +224,7 @@ impl TailOp {
             TailOp::Deregister { id } => WalRecord::Deregister { id: *id },
             TailOp::Batch(events) => WalRecord::Batch(events.clone()),
             TailOp::TenantBatch(events) => WalRecord::TenantBatch(events.clone()),
+            TailOp::Quiesce { tenant } => WalRecord::Quiesce { tenant: *tenant },
         }
     }
 
@@ -99,6 +245,7 @@ impl TailOp {
             WalRecord::Deregister { id } => Some(TailOp::Deregister { id }),
             WalRecord::Batch(events) => Some(TailOp::Batch(events)),
             WalRecord::TenantBatch(events) => Some(TailOp::TenantBatch(events)),
+            WalRecord::Quiesce { tenant } => Some(TailOp::Quiesce { tenant }),
             WalRecord::Init(_)
             | WalRecord::SnapshotHeader(_)
             | WalRecord::SnapshotFooter { .. } => None,
@@ -131,7 +278,10 @@ impl TailState {
     pub(crate) fn observe(&mut self, op: &TailOp) {
         match op {
             TailOp::Register { window, .. } => self.max_window = self.max_window.max(*window),
-            TailOp::Deregister { .. } => {}
+            // Quiescence changes which tenants are materialised, not the replay
+            // horizon: the evicted tenant's last_ts stays, so its later batches (if
+            // it comes back) prune exactly as an always-live tenant's would.
+            TailOp::Deregister { .. } | TailOp::Quiesce { .. } => {}
             TailOp::Batch(events) => {
                 if let Some(last) = events.last() {
                     self.last_ts = Some(self.last_ts.map_or(last.ts, |ts| ts.max(last.ts)));
@@ -156,6 +306,11 @@ struct WalInstruments {
     bytes: Counter,
     rotations: Counter,
     snapshots: Counter,
+    io_errors: Counter,
+    retries: Counter,
+    fsyncs: Counter,
+    gc_segments: Counter,
+    degraded: Gauge,
 }
 
 pub(crate) struct WalCore {
@@ -168,6 +323,17 @@ pub(crate) struct WalCore {
     tail: Vec<TailOp>,
     state: TailState,
     error: Option<DurableError>,
+    /// Sticky: set when the retry budget is first spent; never cleared (even by
+    /// `take_error`) because the log already has a hole.
+    degraded: bool,
+    degraded_detail: Option<String>,
+    dropped_ops: u64,
+    /// Cumulative I/O errors, including ones a retry recovered from.
+    io_errors: u64,
+    records_since_sync: u64,
+    records_since_snapshot: u64,
+    bytes_since_snapshot: u64,
+    faults: Option<FaultPlan>,
     instruments: Option<WalInstruments>,
     trace: Option<SharedSink>,
 }
@@ -199,67 +365,192 @@ impl WalCore {
             tail: Vec::new(),
             state: TailState::default(),
             error: None,
+            degraded: false,
+            degraded_detail: None,
+            dropped_ops: 0,
+            io_errors: 0,
+            records_since_sync: 0,
+            records_since_snapshot: 0,
+            bytes_since_snapshot: 0,
+            faults: None,
             instruments: None,
             trace: None,
         })
     }
 
-    /// The latched append failure, re-synthesized (I/O errors are not `Clone`).
+    /// The latched/degraded failure, re-synthesized (I/O errors are not `Clone`).
     fn latched(&self) -> Option<DurableError> {
-        self.error.as_ref().map(|e| {
-            DurableError::io(
-                &self.dir,
-                std::io::Error::other(format!("earlier append failed: {e}")),
-            )
-        })
+        let detail = self
+            .error
+            .as_ref()
+            .map(|e| e.to_string())
+            .or_else(|| self.degraded_detail.clone())?;
+        Some(DurableError::io(
+            &self.dir,
+            std::io::Error::other(format!("earlier append failed: {detail}")),
+        ))
+    }
+
+    /// Consults the armed fault plan; an unarmed or absent plan costs one branch.
+    fn fault(&self, point: &str) -> Option<std::io::Error> {
+        self.faults
+            .as_ref()
+            .and_then(|plan| plan.fires(point))
+            .map(faults::InjectedFault::into_io_error)
+    }
+
+    fn count_io_error(&mut self) {
+        self.io_errors += 1;
+        if let Some(instruments) = &self.instruments {
+            instruments.io_errors.inc();
+        }
+    }
+
+    fn emit(&self, event: &TraceEvent) {
+        if let Some(trace) = &self.trace {
+            trace.emit(event);
+        }
+    }
+
+    /// Runs a fallible I/O operation under the retry budget. Each failure bumps
+    /// `durable.io_errors_total` and emits a `wal_error` trace event; before every
+    /// retry the active segment is truncated back to the last good frame boundary
+    /// (a failed `write_all` may have landed a partial frame), the backoff slept,
+    /// and a `wal_retry` event emitted. The terminal failure carries
+    /// `latched: true`.
+    fn retry_io<T>(
+        &mut self,
+        mut op: impl FnMut(&mut WalCore) -> std::io::Result<T>,
+    ) -> Result<T, DurableError> {
+        let mut attempt: u32 = 0;
+        loop {
+            match op(self) {
+                Ok(value) => return Ok(value),
+                Err(e) => {
+                    self.count_io_error();
+                    let path = self.dir.join(segment_file_name(self.segment_index));
+                    let out_of_budget = attempt >= self.config.retry.attempts;
+                    self.emit(&TraceEvent::WalError {
+                        path: path.display().to_string(),
+                        detail: e.to_string(),
+                        latched: out_of_budget,
+                    });
+                    if out_of_budget {
+                        return Err(DurableError::io(path, e));
+                    }
+                    attempt += 1;
+                    // A failed write may have landed part of a frame; cut back to
+                    // the last good boundary so the retry can't tear the history.
+                    let _ = self.file.set_len(self.segment_bytes);
+                    let backoff_ms = self.config.retry.backoff_ms(attempt);
+                    if backoff_ms > 0 {
+                        std::thread::sleep(std::time::Duration::from_millis(backoff_ms));
+                    }
+                    if let Some(instruments) = &self.instruments {
+                        instruments.retries.inc();
+                    }
+                    self.emit(&TraceEvent::WalRetry {
+                        attempt: u64::from(attempt),
+                        backoff_ms,
+                    });
+                }
+            }
+        }
     }
 
     fn append_record(&mut self, record: &WalRecord) -> Result<(), DurableError> {
         let payload = record.encode();
-        let written = write_frame(&mut self.file, &payload).map_err(|e| {
-            DurableError::io(self.dir.join(segment_file_name(self.segment_index)), e)
+        let written = self.retry_io(|core| {
+            if let Some(e) = core.fault("wal.append") {
+                return Err(e);
+            }
+            write_frame(&mut core.file, &payload)
         })?;
         self.segment_bytes += written;
+        self.records_since_snapshot += 1;
+        self.bytes_since_snapshot += written;
         if let Some(instruments) = &self.instruments {
             instruments.records.inc();
             instruments.bytes.add(written);
+        }
+        self.maybe_sync()
+    }
+
+    /// Applies the [`SyncPolicy`] after a successful append.
+    fn maybe_sync(&mut self) -> Result<(), DurableError> {
+        let due = match self.config.sync {
+            SyncPolicy::Never => false,
+            SyncPolicy::Always => true,
+            SyncPolicy::EveryNRecords(n) => {
+                self.records_since_sync += 1;
+                n > 0 && self.records_since_sync >= n
+            }
+        };
+        if !due {
+            return Ok(());
+        }
+        self.retry_io(|core| {
+            if let Some(e) = core.fault("wal.fsync") {
+                return Err(e);
+            }
+            core.file.sync_data()
+        })?;
+        self.records_since_sync = 0;
+        if let Some(instruments) = &self.instruments {
+            instruments.fsyncs.inc();
         }
         Ok(())
     }
 
     fn rotate_to(&mut self, index: u64) -> Result<(), DurableError> {
         let closed_bytes = self.segment_bytes;
-        self.file = open_segment(&self.dir, index)?;
+        let dir = self.dir.clone();
+        self.file = self.retry_io(|core| {
+            if let Some(e) = core.fault("wal.rotate") {
+                return Err(e);
+            }
+            let path = dir.join(segment_file_name(index));
+            OpenOptions::new().create(true).append(true).open(path)
+        })?;
         self.segment_index = index;
         self.segment_bytes = 0;
         if let Some(instruments) = &self.instruments {
             instruments.rotations.inc();
         }
-        if let Some(trace) = &self.trace {
-            trace.emit(&TraceEvent::WalRotated {
-                segment: index,
-                bytes: closed_bytes,
-            });
-        }
+        self.emit(&TraceEvent::WalRotated {
+            segment: index,
+            bytes: closed_bytes,
+        });
         Ok(())
     }
 
-    /// The sink's append path: log, track, maybe rotate. Infallible — the first
-    /// failure is latched and everything after it is dropped (the log would have a
-    /// hole; better an explicit error at the next snapshot/`take_error`).
+    /// Marks the log degraded: the retry budget is spent, later ops are dropped.
+    fn degrade(&mut self, error: DurableError) {
+        self.degraded = true;
+        self.degraded_detail = Some(error.to_string());
+        self.error = Some(error);
+        if let Some(instruments) = &self.instruments {
+            instruments.degraded.set(1);
+        }
+    }
+
+    /// The sink's append path: log, track, maybe rotate. Infallible — once the
+    /// retry budget is spent the log degrades and everything after is dropped (the
+    /// log would have a hole; better a typed degraded state than a silent gap).
     fn log_op(&mut self, op: TailOp) {
-        if self.error.is_some() {
+        if self.degraded {
+            self.dropped_ops += 1;
             return;
         }
         if let Err(e) = self.append_record(&op.to_record()) {
-            self.error = Some(e);
+            self.degrade(e);
             return;
         }
         self.state.observe(&op);
         self.tail.push(op);
         if self.segment_bytes >= self.config.max_segment_bytes {
             if let Err(e) = self.rotate_to(self.segment_index + 1) {
-                self.error = Some(e);
+                self.degrade(e);
             }
         }
     }
@@ -288,7 +579,12 @@ impl WalCore {
         self.tail
             .iter()
             .filter(|op| match op {
-                TailOp::Register { .. } | TailOp::Deregister { .. } => true,
+                // Quiesce ops are kept like registrations: they pin *where* in the
+                // op sequence a tenant's pending detections were drained, and a
+                // quiesce replayed against a not-yet-materialised tenant is a no-op.
+                TailOp::Register { .. } | TailOp::Deregister { .. } | TailOp::Quiesce { .. } => {
+                    true
+                }
                 TailOp::Batch(events) => {
                     let cutoff = self
                         .state
@@ -346,19 +642,65 @@ impl WalCore {
         // snapshot + full log, a crash before the rotation leaves a complete snapshot
         // whose segment N is simply empty.
         let new_index = self.segment_index + 1;
+        if let Some(e) = self.fault("snapshot.write") {
+            self.count_io_error();
+            let path = self.dir.join(snapshot_file_name(new_index));
+            self.emit(&TraceEvent::WalError {
+                path: path.display().to_string(),
+                detail: e.to_string(),
+                latched: false,
+            });
+            return Err(DurableError::io(path, e));
+        }
         let (path, bytes, ops) = snapshot::write(&self.dir, new_index, &header, &self.tail)?;
         self.rotate_to(new_index)?;
+        self.records_since_snapshot = 0;
+        self.bytes_since_snapshot = 0;
         if let Some(instruments) = &self.instruments {
             instruments.snapshots.inc();
         }
-        if let Some(trace) = &self.trace {
-            trace.emit(&TraceEvent::SnapshotWritten {
-                segment: new_index,
-                bytes,
-                ops,
-            });
+        self.emit(&TraceEvent::SnapshotWritten {
+            segment: new_index,
+            bytes,
+            ops,
+            io_errors: self.io_errors,
+        });
+        if self.config.snapshot.gc {
+            self.gc_through(new_index);
         }
         Ok(path)
+    }
+
+    /// Deletes segment and snapshot files fully covered by the snapshot at
+    /// `anchor`: replay is "snapshot N + segments ≥ N", so everything below the
+    /// anchor is dead weight. Only ever called right after a *successful*
+    /// snapshot — a failed snapshot leaves every file in place. Deletions are
+    /// best-effort; a file that will not delete is simply kept.
+    fn gc_through(&mut self, anchor: u64) {
+        let mut deleted = 0u64;
+        let mut highest = 0u64;
+        let segments =
+            crate::segment::list_indices(&self.dir, parse_segment_index).unwrap_or_default();
+        for index in segments.into_iter().filter(|&i| i < anchor) {
+            if fs::remove_file(self.dir.join(segment_file_name(index))).is_ok() {
+                deleted += 1;
+                highest = highest.max(index);
+            }
+        }
+        let snapshots =
+            crate::segment::list_indices(&self.dir, parse_snapshot_index).unwrap_or_default();
+        for index in snapshots.into_iter().filter(|&i| i < anchor) {
+            let _ = fs::remove_file(self.dir.join(snapshot_file_name(index)));
+        }
+        if deleted > 0 {
+            if let Some(instruments) = &self.instruments {
+                instruments.gc_segments.add(deleted);
+            }
+            self.emit(&TraceEvent::WalGc {
+                deleted,
+                through_segment: highest,
+            });
+        }
     }
 }
 
@@ -419,6 +761,10 @@ impl DurabilitySink for WalSink {
 
     fn record_tenant_events(&mut self, events: &[TenantedEvent]) {
         self.lock().log_op(TailOp::TenantBatch(events.to_vec()));
+    }
+
+    fn record_quiesce(&mut self, tenant: TenantId) {
+        self.lock().log_op(TailOp::Quiesce { tenant: tenant.0 });
     }
 }
 
@@ -539,24 +885,106 @@ impl Wal {
         self.lock().snapshot(EngineKind::Pool, floors)
     }
 
-    /// Registers the `durable.*` counters: `records_total`, `bytes_total`,
-    /// `rotations_total`, `snapshots_total`. Counting starts at the call.
+    /// Registers the `durable.*` instruments: `records_total`, `bytes_total`,
+    /// `rotations_total`, `snapshots_total`, `io_errors_total`, `retries_total`,
+    /// `fsyncs_total`, `gc_segments_total`, and the `degraded` gauge (0 or 1).
+    /// Counting starts at the call; the gauge reflects the current status.
     pub fn instrument(&self, registry: &MetricsRegistry) {
-        self.lock().instruments = Some(WalInstruments {
+        let mut core = self.lock();
+        let degraded = registry.gauge("durable.degraded");
+        degraded.set(u64::from(core.degraded));
+        core.instruments = Some(WalInstruments {
             records: registry.counter("durable.records_total"),
             bytes: registry.counter("durable.bytes_total"),
             rotations: registry.counter("durable.rotations_total"),
             snapshots: registry.counter("durable.snapshots_total"),
+            io_errors: registry.counter("durable.io_errors_total"),
+            retries: registry.counter("durable.retries_total"),
+            fsyncs: registry.counter("durable.fsyncs_total"),
+            gc_segments: registry.counter("durable.gc_segments_total"),
+            degraded,
         });
     }
 
-    /// Routes `wal_rotated` / `snapshot_written` trace events into `sink`.
+    /// Routes `wal_rotated` / `snapshot_written` / `wal_error` / `wal_retry` /
+    /// `wal_gc` trace events into `sink`.
     pub fn set_trace_sink(&self, sink: SharedSink) {
         self.lock().trace = Some(sink);
     }
 
-    /// Takes the latched append failure, if any. Appends are infallible on the hot
-    /// path; this (and the next snapshot attempt) is where failures surface.
+    /// Arms a [`FaultPlan`] on every WAL I/O site (`wal.append`, `wal.fsync`,
+    /// `wal.rotate`, `snapshot.write`). Injected faults behave exactly like real
+    /// I/O errors — retried, counted, and latching — but never corrupt the disk,
+    /// so segments written before an injected failure stay readable.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.lock().faults = Some(plan);
+    }
+
+    /// Whether the log is still appending or has degraded. Degradation is sticky —
+    /// see [`WalStatus`].
+    pub fn status(&self) -> WalStatus {
+        if self.lock().degraded {
+            WalStatus::Degraded
+        } else {
+            WalStatus::Healthy
+        }
+    }
+
+    /// Operations dropped since the log degraded (0 while healthy).
+    pub fn dropped_ops(&self) -> u64 {
+        self.lock().dropped_ops
+    }
+
+    /// Cumulative I/O errors observed, including ones a retry recovered from.
+    pub fn io_errors(&self) -> u64 {
+        self.lock().io_errors
+    }
+
+    /// Whether the [`SnapshotPolicy`] cadence has tripped since the last snapshot.
+    /// Always `false` for the default (manual-cadence) policy or a degraded log.
+    pub fn snapshot_due(&self) -> bool {
+        let core = self.lock();
+        !core.degraded
+            && core
+                .config
+                .snapshot
+                .due(core.records_since_snapshot, core.bytes_since_snapshot)
+    }
+
+    /// Cuts a [`Wal::snapshot_detector`] snapshot iff the cadence policy says one
+    /// is due. Call once per batch; returns the snapshot path when one was cut.
+    pub fn maybe_snapshot_detector(
+        &self,
+        detector: &Detector,
+    ) -> Result<Option<PathBuf>, DurableError> {
+        if !self.snapshot_due() {
+            return Ok(None);
+        }
+        self.snapshot_detector(detector).map(Some)
+    }
+
+    /// [`Wal::maybe_snapshot_detector`], for a [`ShardedDetector`].
+    pub fn maybe_snapshot_sharded(
+        &self,
+        detector: &ShardedDetector,
+    ) -> Result<Option<PathBuf>, DurableError> {
+        if !self.snapshot_due() {
+            return Ok(None);
+        }
+        self.snapshot_sharded(detector).map(Some)
+    }
+
+    /// [`Wal::maybe_snapshot_detector`], for a [`TenantPool`].
+    pub fn maybe_snapshot_pool(&self, pool: &TenantPool) -> Result<Option<PathBuf>, DurableError> {
+        if !self.snapshot_due() {
+            return Ok(None);
+        }
+        self.snapshot_pool(pool).map(Some)
+    }
+
+    /// Takes the latched append failure, if any. The hot path never returns errors;
+    /// they surface here, in [`Wal::status`], in the `durable.degraded` gauge, and
+    /// in `wal_error` trace events. Taking the error does *not* clear degradation.
     pub fn take_error(&self) -> Option<DurableError> {
         self.lock().error.take()
     }
@@ -642,6 +1070,7 @@ mod tests {
             &dir,
             WalConfig {
                 max_segment_bytes: 128,
+                ..WalConfig::default()
             },
         )
         .unwrap();
@@ -668,6 +1097,197 @@ mod tests {
             wal.attach_detector(&mut other),
             Err(DurableError::AlreadyAttached)
         ));
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn sync_policy_fsyncs_on_cadence() {
+        let dir = temp_dir("fsync");
+        let wal = Wal::create(
+            &dir,
+            WalConfig {
+                sync: SyncPolicy::EveryNRecords(2),
+                ..WalConfig::default()
+            },
+        )
+        .unwrap();
+        let registry = MetricsRegistry::new();
+        wal.instrument(&registry);
+        let mut detector = Detector::new();
+        wal.attach_detector(&mut detector).unwrap();
+        for ts in 1..=6 {
+            detector.on_batch(&[event(ts, 0, 1)]).unwrap();
+        }
+        // 7 records (Init + 6 batches) at one fsync per 2 records.
+        assert_eq!(registry.counter("durable.fsyncs_total").get(), 3);
+        assert_eq!(wal.status(), WalStatus::Healthy);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn transient_fault_is_retried_away_without_losing_records() {
+        let dir = temp_dir("retry");
+        let wal = Wal::create(
+            &dir,
+            WalConfig {
+                retry: RetryPolicy {
+                    attempts: 3,
+                    backoff_base_ms: 0,
+                    backoff_cap_ms: 0,
+                },
+                ..WalConfig::default()
+            },
+        )
+        .unwrap();
+        let plan = FaultPlan::new(0);
+        plan.arm("wal.append", faults::FaultSchedule::OneShotAt(3));
+        wal.set_fault_plan(plan);
+        let sink = Arc::new(obs::CollectingSink::new());
+        wal.set_trace_sink(SharedSink::from(sink.clone()));
+
+        let mut detector = Detector::new();
+        wal.attach_detector(&mut detector).unwrap();
+        for ts in 1..=4 {
+            detector.on_batch(&[event(ts, 0, 1)]).unwrap();
+        }
+        assert_eq!(wal.status(), WalStatus::Healthy);
+        assert_eq!(wal.io_errors(), 1);
+        assert!(wal.take_error().is_none());
+        // Every record reached disk exactly once despite the injected failure.
+        assert_eq!(read_all_records(&dir).len(), 5);
+        let events = sink.events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::WalError { latched: false, .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::WalRetry { attempt: 1, .. })));
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn spent_retry_budget_degrades_stickily() {
+        let dir = temp_dir("degrade");
+        let wal = Wal::create(
+            &dir,
+            WalConfig {
+                retry: RetryPolicy {
+                    attempts: 1,
+                    backoff_base_ms: 0,
+                    backoff_cap_ms: 0,
+                },
+                ..WalConfig::default()
+            },
+        )
+        .unwrap();
+        let registry = MetricsRegistry::new();
+        wal.instrument(&registry);
+        let sink = Arc::new(obs::CollectingSink::new());
+        wal.set_trace_sink(SharedSink::from(sink.clone()));
+        let mut detector = Detector::new();
+        wal.attach_detector(&mut detector).unwrap();
+        detector.on_batch(&[event(1, 0, 1)]).unwrap();
+
+        let plan = FaultPlan::new(0);
+        plan.arm("wal.append", faults::FaultSchedule::EveryNth(1));
+        wal.set_fault_plan(plan);
+        for ts in 2..=4 {
+            // The engine keeps accepting batches while durability is suspended.
+            detector.on_batch(&[event(ts, 0, 1)]).unwrap();
+        }
+        assert_eq!(wal.status(), WalStatus::Degraded);
+        assert_eq!(wal.dropped_ops(), 2, "ops after the latch are dropped");
+        assert_eq!(wal.io_errors(), 2, "first failure + one retry");
+        assert_eq!(registry.counter("durable.io_errors_total").get(), 2);
+        assert_eq!(registry.counter("durable.retries_total").get(), 1);
+        assert_eq!(registry.gauge("durable.degraded").get(), 1);
+        assert!(sink
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::WalError { latched: true, .. })));
+        assert!(wal.take_error().is_some());
+        // Taking the error does not resurrect the log: the hole is permanent.
+        assert_eq!(wal.status(), WalStatus::Degraded);
+        detector.on_batch(&[event(5, 0, 1)]).unwrap();
+        assert_eq!(wal.dropped_ops(), 3);
+        // The log on disk is the clean prefix from before the latch.
+        assert_eq!(read_all_records(&dir).len(), 2);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_cadence_cuts_and_gc_deletes_covered_segments() {
+        let dir = temp_dir("cadence");
+        let wal = Wal::create(
+            &dir,
+            WalConfig {
+                max_segment_bytes: 96,
+                snapshot: SnapshotPolicy::every_records(4).with_gc(),
+                ..WalConfig::default()
+            },
+        )
+        .unwrap();
+        let sink = Arc::new(obs::CollectingSink::new());
+        wal.set_trace_sink(SharedSink::from(sink.clone()));
+        let mut detector = Detector::new();
+        wal.attach_detector(&mut detector).unwrap();
+        let mut snapshots = 0;
+        for ts in 1..=12 {
+            detector.on_batch(&[event(ts, 0, 1)]).unwrap();
+            if wal.maybe_snapshot_detector(&detector).unwrap().is_some() {
+                snapshots += 1;
+            }
+        }
+        assert!(snapshots >= 2, "cadence never tripped: {snapshots}");
+        let newest_snapshot = *crate::segment::list_indices(&dir, parse_snapshot_index)
+            .unwrap()
+            .last()
+            .unwrap();
+        let segments = crate::segment::list_indices(&dir, parse_segment_index).unwrap();
+        assert!(
+            segments.iter().all(|&i| i >= newest_snapshot),
+            "GC left covered segments: {segments:?} vs snapshot {newest_snapshot}"
+        );
+        assert!(sink
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::WalGc { deleted, .. } if *deleted > 0)));
+        // Kill-after-GC: the pruned log still recovers, strictly.
+        let recovered = crate::recover::recover_detector(&dir, WalConfig::default()).unwrap();
+        assert!(recovered.damage.is_none());
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn failed_snapshot_leaves_every_segment_in_place() {
+        let dir = temp_dir("snapfault");
+        let wal = Wal::create(
+            &dir,
+            WalConfig {
+                max_segment_bytes: 96,
+                snapshot: SnapshotPolicy::every_records(1).with_gc(),
+                ..WalConfig::default()
+            },
+        )
+        .unwrap();
+        let plan = FaultPlan::new(0);
+        plan.arm("snapshot.write", faults::FaultSchedule::EveryNth(1));
+        wal.set_fault_plan(plan);
+        let mut detector = Detector::new();
+        wal.attach_detector(&mut detector).unwrap();
+        for ts in 1..=8 {
+            detector.on_batch(&[event(ts, 0, 1)]).unwrap();
+        }
+        let before = crate::segment::list_indices(&dir, parse_segment_index).unwrap();
+        assert!(wal.maybe_snapshot_detector(&detector).is_err());
+        let after = crate::segment::list_indices(&dir, parse_segment_index).unwrap();
+        assert_eq!(before, after, "a failed snapshot must never GC");
+        assert_eq!(
+            wal.status(),
+            WalStatus::Healthy,
+            "snapshot faults don't latch"
+        );
+        assert_eq!(wal.io_errors(), 1);
         fs::remove_dir_all(dir).unwrap();
     }
 

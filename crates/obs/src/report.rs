@@ -303,6 +303,19 @@ pub fn validate(doc: &Json) -> Vec<String> {
         }
     }
 
+    // The fsync policy a durability run was measured under (`BQ_SYNC`). Optional;
+    // when present it must be one of the stable `SyncPolicy::name` values, since
+    // `diff_reports` keys its durability-ceiling logic on it.
+    if let Some(value) = doc.get("extra").and_then(|e| e.get("sync_policy")) {
+        match value.as_str() {
+            Some("never" | "every_n" | "always") => {}
+            Some(other) => problems.push(format!(
+                "extra.sync_policy: unknown policy {other:?} (never | every_n | always)"
+            )),
+            None => problems.push("extra.sync_policy: not a string".into()),
+        }
+    }
+
     match doc.get("shards").map(Json::as_arr) {
         Some(Some(shards)) => {
             if shards.is_empty() {
@@ -414,6 +427,17 @@ pub fn diff_reports(baseline: &Json, fresh: &Json, thresholds: &DiffThresholds) 
         }
     }
 
+    // Durability overhead is only comparable within one fsync policy: `always`
+    // prices a real fsync per record and can legitimately sit far above the
+    // `never` ceiling. A policy mismatch downgrades that one ceiling to a note.
+    fn sync_policy(doc: &Json) -> &str {
+        doc.get("extra")
+            .and_then(|e| e.get("sync_policy"))
+            .and_then(Json::as_str)
+            .unwrap_or("never")
+    }
+    let policy_mismatch = sync_policy(baseline) != sync_policy(fresh);
+
     for (field, ceiling) in [
         ("overhead_pct", thresholds.max_overhead_pct),
         (
@@ -426,6 +450,15 @@ pub fn diff_reports(baseline: &Json, fresh: &Json, thresholds: &DiffThresholds) 
             if let Some(base) = num(baseline, &["extra", field]) {
                 diff.notes
                     .push(format!("extra.{field}: baseline {base:.2}, fresh {new:.2}"));
+            }
+            if field == "durability_overhead_pct" && policy_mismatch {
+                diff.notes.push(format!(
+                    "extra.{field}: ceiling skipped — sync policy differs (baseline \
+                     {}, fresh {})",
+                    sync_policy(baseline),
+                    sync_policy(fresh)
+                ));
+                continue;
             }
             if new > ceiling {
                 diff.regressions.push(format!(
@@ -644,6 +677,64 @@ mod tests {
         assert!(
             !diff.regressions.iter().any(|r| r.contains("durability")),
             "80% durability overhead is under its 150% ceiling: {:?}",
+            diff.regressions
+        );
+    }
+
+    #[test]
+    fn validation_checks_sync_policy_names() {
+        let mut report = sample();
+        report
+            .extra
+            .push(("sync_policy".into(), Json::Str("every_n".into())));
+        assert_eq!(
+            validate(&Json::parse(&report.render()).unwrap()),
+            Vec::<String>::new()
+        );
+        let mut report = sample();
+        report
+            .extra
+            .push(("sync_policy".into(), Json::Str("fsync-maybe".into())));
+        let problems = validate(&Json::parse(&report.render()).unwrap());
+        assert!(problems
+            .iter()
+            .any(|p| p.contains("sync_policy: unknown policy")));
+    }
+
+    #[test]
+    fn diff_skips_the_durability_ceiling_across_sync_policies() {
+        // Baseline measured under `never`, fresh under `always`: the 500% fresh
+        // overhead is real fsync pricing, not a regression — the ceiling is
+        // downgraded to a note. The same value under a matching policy gates.
+        let mut base = sample();
+        base.extra
+            .push(("durability_overhead_pct".into(), Json::Num(60.0)));
+        let baseline = Json::parse(&base.render()).unwrap();
+        let mut fresh = sample();
+        fresh
+            .extra
+            .push(("durability_overhead_pct".into(), Json::Num(500.0)));
+        fresh
+            .extra
+            .push(("sync_policy".into(), Json::Str("always".into())));
+        let fresh = Json::parse(&fresh.render()).unwrap();
+        let diff = diff_reports(&baseline, &fresh, &DiffThresholds::default());
+        assert!(
+            diff.is_ok(),
+            "policy mismatch must not gate durability overhead: {:?}",
+            diff.regressions
+        );
+        assert!(diff
+            .notes
+            .iter()
+            .any(|n| n.contains("ceiling skipped") && n.contains("sync policy differs")));
+
+        let diff = diff_reports(&fresh, &fresh, &DiffThresholds::default());
+        assert!(
+            diff.regressions
+                .iter()
+                .any(|r| r.contains("durability_overhead_pct: fresh 500.00 exceeds")),
+            "matching policies keep the ceiling: {:?}",
             diff.regressions
         );
     }

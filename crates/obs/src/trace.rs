@@ -103,6 +103,9 @@ pub enum TraceEvent {
         bytes: u64,
         /// Replayable operations carried in the snapshot tail.
         ops: u64,
+        /// Cumulative WAL I/O errors seen so far (including retried-away ones), so
+        /// operators see trouble in the snapshot report without polling.
+        io_errors: u64,
     },
     /// Crash recovery finished rebuilding an engine from snapshot + log suffix.
     RecoveryCompleted {
@@ -112,6 +115,55 @@ pub enum TraceEvent {
         records: u64,
         /// Live registered queries after recovery.
         queries: u64,
+        /// Records dropped by tolerant recovery (0 for strict recovery).
+        dropped: u64,
+        /// Damage description when tolerant recovery truncated the log, else `None`.
+        damage: Option<String>,
+    },
+    /// A write-ahead-log I/O operation failed. `latched: false` means a retry
+    /// follows; `latched: true` means the budget is spent and durability degraded
+    /// (or the error was returned to the caller).
+    WalError {
+        /// File the operation targeted.
+        path: String,
+        /// The I/O error.
+        detail: String,
+        /// Whether this failure latched (no further retries).
+        latched: bool,
+    },
+    /// The write-ahead log is retrying a failed I/O operation after backoff.
+    WalRetry {
+        /// Retry attempt number (1-based).
+        attempt: u64,
+        /// Backoff slept before this attempt, in milliseconds.
+        backoff_ms: u64,
+    },
+    /// Post-snapshot garbage collection deleted fully-covered log segments.
+    WalGc {
+        /// Segment files deleted.
+        deleted: u64,
+        /// Highest segment index deleted (all deleted indices are ≤ this).
+        through_segment: u64,
+    },
+    /// A repeatedly-failing event was quarantined to the dead-letter buffer.
+    PoisonQuarantined {
+        /// Raw tenant id the event belonged to.
+        tenant: u64,
+        /// The event's timestamp.
+        ts: u64,
+        /// Events currently held in the dead-letter buffer.
+        quarantined: u64,
+    },
+    /// A silent tenant was flushed and evicted past the quiescence horizon.
+    TenantQuiesced {
+        /// Raw tenant id evicted.
+        tenant: u64,
+        /// Tenant-group the tenant lived in.
+        group: usize,
+        /// The tenant's last observed event timestamp.
+        last_ts: u64,
+        /// The effective quiescence horizon that expired it.
+        horizon: u64,
     },
 }
 
@@ -130,6 +182,11 @@ impl TraceEvent {
             TraceEvent::WalRotated { .. } => "wal_rotated",
             TraceEvent::SnapshotWritten { .. } => "snapshot_written",
             TraceEvent::RecoveryCompleted { .. } => "recovery_completed",
+            TraceEvent::WalError { .. } => "wal_error",
+            TraceEvent::WalRetry { .. } => "wal_retry",
+            TraceEvent::WalGc { .. } => "wal_gc",
+            TraceEvent::PoisonQuarantined { .. } => "poison_quarantined",
+            TraceEvent::TenantQuiesced { .. } => "tenant_quiesced",
         }
     }
 
@@ -213,19 +270,71 @@ impl TraceEvent {
                 segment,
                 bytes,
                 ops,
+                io_errors,
             } => {
                 fields.push(("segment".into(), Json::from_u64(*segment)));
                 fields.push(("bytes".into(), Json::from_u64(*bytes)));
                 fields.push(("ops".into(), Json::from_u64(*ops)));
+                fields.push(("io_errors".into(), Json::from_u64(*io_errors)));
             }
             TraceEvent::RecoveryCompleted {
                 segments,
                 records,
                 queries,
+                dropped,
+                damage,
             } => {
                 fields.push(("segments".into(), Json::from_u64(*segments)));
                 fields.push(("records".into(), Json::from_u64(*records)));
                 fields.push(("queries".into(), Json::from_u64(*queries)));
+                fields.push(("dropped".into(), Json::from_u64(*dropped)));
+                match damage {
+                    Some(damage) => fields.push(("damage".into(), Json::Str(damage.clone()))),
+                    None => fields.push(("damage".into(), Json::Null)),
+                }
+            }
+            TraceEvent::WalError {
+                path,
+                detail,
+                latched,
+            } => {
+                fields.push(("path".into(), Json::Str(path.clone())));
+                fields.push(("detail".into(), Json::Str(detail.clone())));
+                fields.push(("latched".into(), Json::Bool(*latched)));
+            }
+            TraceEvent::WalRetry {
+                attempt,
+                backoff_ms,
+            } => {
+                fields.push(("attempt".into(), Json::from_u64(*attempt)));
+                fields.push(("backoff_ms".into(), Json::from_u64(*backoff_ms)));
+            }
+            TraceEvent::WalGc {
+                deleted,
+                through_segment,
+            } => {
+                fields.push(("deleted".into(), Json::from_u64(*deleted)));
+                fields.push(("through_segment".into(), Json::from_u64(*through_segment)));
+            }
+            TraceEvent::PoisonQuarantined {
+                tenant,
+                ts,
+                quarantined,
+            } => {
+                fields.push(("tenant".into(), Json::from_u64(*tenant)));
+                fields.push(("ts".into(), Json::from_u64(*ts)));
+                fields.push(("quarantined".into(), Json::from_u64(*quarantined)));
+            }
+            TraceEvent::TenantQuiesced {
+                tenant,
+                group,
+                last_ts,
+                horizon,
+            } => {
+                fields.push(("tenant".into(), Json::from_u64(*tenant)));
+                fields.push(("group".into(), Json::from_u64(*group as u64)));
+                fields.push(("last_ts".into(), Json::from_u64(*last_ts)));
+                fields.push(("horizon".into(), Json::from_u64(*horizon)));
             }
         }
         Json::Obj(fields)

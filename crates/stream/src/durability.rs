@@ -21,7 +21,7 @@
 
 use crate::detector::QueryId;
 use query::compile::CompiledQuery;
-use tgraph::{StreamEvent, TenantedEvent};
+use tgraph::{StreamEvent, TenantId, TenantedEvent};
 
 /// A receiver for the replayable input stream of a detection engine.
 ///
@@ -48,6 +48,15 @@ pub trait DurabilitySink: Send {
 
     /// A batch of tenant-tagged events is about to be applied (pool-level engines).
     fn record_tenant_events(&mut self, events: &[TenantedEvent]);
+
+    /// A silent tenant is about to be quiesced (flushed and evicted). Logged
+    /// *before* the eviction, like event batches: the flush drains pending
+    /// detections early, so replay must evict at exactly the same point in the
+    /// op sequence or a recovered pool would re-emit them. Default no-op so
+    /// single-stream sinks ignore it.
+    fn record_quiesce(&mut self, tenant: TenantId) {
+        let _ = tenant;
+    }
 }
 
 /// An attached durability sink, held by `Detector`/`ShardedDetector`/`TenantPool`.
@@ -92,6 +101,12 @@ impl Durability {
     #[inline]
     pub fn record_tenant_events(&mut self, events: &[TenantedEvent]) {
         self.0.record_tenant_events(events);
+    }
+
+    /// Forwards a tenant-quiescence record.
+    #[inline]
+    pub fn record_quiesce(&mut self, tenant: TenantId) {
+        self.0.record_quiesce(tenant);
     }
 }
 

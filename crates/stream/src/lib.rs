@@ -91,4 +91,6 @@ pub use error::{BatchError, DeregisterError, RegisterError, TenantBatchError};
 pub use instrument::{DetectorInstruments, PipelineInstruments};
 pub use registry::{QueryTable, Registered};
 pub use shard::{LabelPairStats, MeasuredCost, ShardedDetector};
-pub use tenant::{TenantDetection, TenantPool, TenantRouter};
+pub use tenant::{
+    PoisonPolicy, QuarantinedEvent, QuiescencePolicy, TenantDetection, TenantPool, TenantRouter,
+};

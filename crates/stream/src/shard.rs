@@ -43,6 +43,7 @@ use crate::detector::{CompiledQuery, Detection, Detector, QueryId, Registration,
 use crate::durability::Durability;
 use crate::error::{BatchError, DeregisterError, RegisterError};
 use crate::instrument::DetectorInstruments;
+use faults::FaultPlan;
 use obs::{
     MetricsRegistry, Profiler, QueryCost, QueryCostReport, ShardStat, SharedSink, TraceEvent,
 };
@@ -275,6 +276,9 @@ pub struct ShardedDetector {
     /// handle is forwarded to every shard detector, so shard-phase spans aggregate
     /// into the one span map regardless of which worker thread they ran on.
     profiler: Option<Profiler>,
+    /// Deterministic fault plan; the `shard.worker` failpoint is consulted at the
+    /// top of every batch. Unarmed: one `Option` branch, no behavior change.
+    faults: Option<FaultPlan>,
 }
 
 impl ShardedDetector {
@@ -314,7 +318,16 @@ impl ShardedDetector {
             last_evicted: vec![0; shards],
             durability: None,
             profiler: None,
+            faults: None,
         }
+    }
+
+    /// Arms a deterministic [`FaultPlan`] on the pool's `shard.worker` failpoint.
+    /// When it fires, the batch is rejected with [`GraphError::FaultInjected`]
+    /// *before* durability logging or any shard mutation — re-delivering the batch
+    /// advances the schedule and succeeds, so detections stay fault-free-identical.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.faults = plan;
     }
 
     /// Attaches (or with `None` detaches) a pool-level durability recorder. Attach
@@ -649,6 +662,26 @@ impl ShardedDetector {
     /// index, and the returned [`BatchError`] carries the merged detections of the
     /// valid prefix.
     pub fn on_batch(&mut self, events: &[StreamEvent]) -> Result<Vec<Detection>, BatchError> {
+        // Failpoint first: an injected fault is a clean rejection — nothing logged,
+        // nothing applied — so the whole batch can simply be delivered again.
+        if let Some(fault) = self.faults.as_ref().and_then(|p| p.fires("shard.worker")) {
+            let error = GraphError::FaultInjected {
+                point: fault.point,
+                occurrence: fault.occurrence,
+            };
+            if let Some(sink) = &self.sink {
+                sink.emit(&TraceEvent::BatchError {
+                    index: 0,
+                    emitted: 0,
+                    message: error.to_string(),
+                });
+            }
+            return Err(BatchError {
+                emitted: Vec::new(),
+                index: 0,
+                error,
+            });
+        }
         // Log-before-apply, once for the whole pool (shards all see the same batch).
         if let Some(durability) = &mut self.durability {
             durability.record_events(events);

@@ -45,14 +45,33 @@
 //! the replay deterministic. A mid-stream registration's `visible_from` is the maximum
 //! over live tenants (the most pessimistic look-back floor; `0` when no tenant exists
 //! yet).
+//!
+//! ## Self-healing (opt-in, off by default)
+//!
+//! * **Poison-event quarantine** ([`PoisonPolicy`]): an event a tenant rejects
+//!   identically `max_failures` times in a row moves to a capped dead-letter buffer
+//!   and is silently dropped from later deliveries — *before* durability logging, so
+//!   the log carries exactly the filtered stream the engines processed and replay
+//!   stays parity-exact.
+//! * **Tenant quiescence** ([`QuiescencePolicy`]): tenants silent past a horizon
+//!   (never less than twice the largest registered window, so no pending match can
+//!   still complete) are flushed and evicted, their visibility floors saved; a
+//!   returning tenant is recreated through the ordinary journal-replay path with its
+//!   floors restored. Each eviction is logged as a `Quiesce` record before it is
+//!   applied, because the flush drains pending detections early — replay must drain
+//!   them at the same point in the op sequence.
 
 use crate::detector::{CompiledQuery, QueryId, Registration};
 use crate::durability::Durability;
 use crate::error::{DeregisterError, RegisterError, TenantBatchError};
 use crate::registry::QueryTable;
 use crate::shard::{LabelPairStats, ShardedDetector, PARALLEL_BATCH_MIN};
-use obs::{Counter, Gauge, MetricsRegistry, Profiler, QueryCost, QueryCostReport, TenantGroupStat};
-use std::collections::BTreeMap;
+use faults::FaultPlan;
+use obs::{
+    Counter, Gauge, MetricsRegistry, Profiler, QueryCost, QueryCostReport, SharedSink,
+    TenantGroupStat, TraceEvent,
+};
+use std::collections::{BTreeMap, VecDeque};
 use tgraph::{GraphError, StreamEvent, TenantId, TenantedEvent};
 
 /// A detection attributed to the tenant whose stream produced it.
@@ -111,6 +130,56 @@ fn splitmix64(mut x: u64) -> u64 {
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     x ^ (x >> 31)
+}
+
+/// Poison-event quarantine policy (see the module docs): an event a tenant rejects
+/// identically `max_failures` times in a row is quarantined into a capped dead-letter
+/// buffer and dropped from later deliveries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoisonPolicy {
+    /// Consecutive identical rejections before the event is quarantined (min 1).
+    pub max_failures: u32,
+    /// Dead-letter buffer capacity; beyond it the *oldest* quarantined event is
+    /// forgotten (and would be delivered again if ever re-sent).
+    pub capacity: usize,
+}
+
+impl Default for PoisonPolicy {
+    fn default() -> Self {
+        Self {
+            max_failures: 3,
+            capacity: 64,
+        }
+    }
+}
+
+/// One dead-letter entry: the event a tenant kept rejecting, held for inspection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuarantinedEvent {
+    /// The tenant that rejected the event.
+    pub tenant: TenantId,
+    /// The rejected event, verbatim.
+    pub event: StreamEvent,
+    /// How many consecutive times it was rejected before quarantine.
+    pub failures: u32,
+}
+
+/// Tenant-quiescence policy (see the module docs): tenants whose last event is older
+/// than the horizon — measured against the newest timestamp the pool has seen — are
+/// flushed and evicted at the start of the next batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuiescencePolicy {
+    /// Silence horizon in timestamp units. The pool never quiesces inside the replay
+    /// horizon: the effective horizon is `max(horizon, 2 × largest window ever
+    /// registered)`, so no pending match that could still complete is cut short.
+    pub horizon: u64,
+}
+
+/// Pool-level self-healing metric handles (see [`TenantPool::instrument`]).
+#[derive(Debug, Clone)]
+struct PoolInstruments {
+    quarantined_total: Counter,
+    quiesced_total: Counter,
 }
 
 /// One replayable registration-journal entry (see the module docs: tenants created
@@ -238,6 +307,36 @@ pub struct TenantPool {
     /// Cost-attribution sampling interval, remembered so tenants materialised after
     /// [`TenantPool::enable_cost_attribution`] join the measurement mid-stream.
     attribution_interval: Option<u64>,
+    /// Pool-level trace sink for `poison_quarantined` / `tenant_quiesced` events.
+    sink: Option<SharedSink>,
+    /// Armed fault plan; `tenant.batch` fires at the very top of [`TenantPool::on_batch`].
+    faults: Option<FaultPlan>,
+    /// Poison-event quarantine policy; `None` (default) disables quarantine.
+    poison: Option<PoisonPolicy>,
+    /// Per-tenant consecutive-rejection tracking: the last event the tenant rejected
+    /// and how many times in a row. An intervening *different* rejection resets it.
+    failing: BTreeMap<TenantId, (StreamEvent, u32)>,
+    /// The capped dead-letter buffer, oldest first.
+    quarantined: VecDeque<QuarantinedEvent>,
+    /// Lifetime quarantine count (outlives the capped buffer; backs the counter).
+    quarantine_total: u64,
+    /// Tenant-quiescence policy; `None` (default) disables eviction.
+    quiescence: Option<QuiescencePolicy>,
+    /// Last event timestamp per tenant — the quiescence clock. Entries survive
+    /// eviction so a returning tenant's silence is measured from its real history.
+    tenant_last_ts: BTreeMap<TenantId, u64>,
+    /// Newest timestamp seen on any tenant (the pool-wide "now" silence is measured
+    /// against).
+    max_seen_ts: u64,
+    /// Largest window ever registered (never shrinks): floors the effective
+    /// quiescence horizon at twice the replay horizon.
+    max_window_seen: u64,
+    /// Visibility floors of quiesced tenants, restored (and removed) when the tenant
+    /// re-materialises via [`TenantPool::ensure_tenant`]'s journal replay.
+    quiesced_floors: BTreeMap<TenantId, Vec<u64>>,
+    /// Lifetime quiesce count, mirroring `quarantine_total`.
+    quiesce_total: u64,
+    instruments: Option<PoolInstruments>,
 }
 
 impl TenantPool {
@@ -269,6 +368,19 @@ impl TenantPool {
             durability: None,
             profiler: None,
             attribution_interval: None,
+            sink: None,
+            faults: None,
+            poison: None,
+            failing: BTreeMap::new(),
+            quarantined: VecDeque::new(),
+            quarantine_total: 0,
+            quiescence: None,
+            tenant_last_ts: BTreeMap::new(),
+            max_seen_ts: 0,
+            max_window_seen: 0,
+            quiesced_floors: BTreeMap::new(),
+            quiesce_total: 0,
+            instruments: None,
         }
     }
 
@@ -340,10 +452,51 @@ impl TenantPool {
         self.durability = durability;
     }
 
+    /// Attaches (or with `None` detaches) a pool-level trace sink for the
+    /// self-healing events `poison_quarantined` and `tenant_quiesced`. Inert:
+    /// detections are identical with and without it.
+    pub fn set_trace_sink(&mut self, sink: Option<SharedSink>) {
+        self.sink = sink;
+    }
+
+    /// Arms (or with `None` disarms) a deterministic fault plan. The pool consults
+    /// the `tenant.batch` failpoint at the very top of [`TenantPool::on_batch`],
+    /// before any logging or state mutation, so an injected fault is a clean typed
+    /// rejection ([`GraphError::FaultInjected`]) and a retrying driver — which
+    /// advances the schedule — observes the same stream as a fault-free run.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.faults = plan;
+    }
+
+    /// Enables (or with `None` disables) poison-event quarantine. Disabling keeps
+    /// the already-quarantined events out of the stream but stops new quarantines.
+    pub fn set_poison_policy(&mut self, policy: Option<PoisonPolicy>) {
+        self.poison = policy;
+        if policy.is_none() {
+            self.failing.clear();
+        }
+    }
+
+    /// Enables (or with `None` disables) tenant quiescence. Evictions happen at the
+    /// start of the next [`TenantPool::on_batch`] call after a tenant falls outside
+    /// the (effective) horizon.
+    pub fn set_quiescence(&mut self, policy: Option<QuiescencePolicy>) {
+        self.quiescence = policy;
+    }
+
+    /// The dead-letter buffer, oldest first.
+    pub fn quarantined(&self) -> Vec<QuarantinedEvent> {
+        self.quarantined.iter().copied().collect()
+    }
+
     /// Per-tenant, per-shard visibility floors for every materialised tenant, in
     /// (group, tenant) order — recorded into snapshots so recovery can restore them.
+    /// Quiesced tenants report the floors saved at their eviction (appended after the
+    /// live tenants, in tenant order): their floors must survive a snapshot cut while
+    /// they are away, or a recovered pool would recreate them with no look-back bound.
     pub fn tenant_visible_floors(&self) -> Vec<(TenantId, Vec<u64>)> {
-        self.groups
+        let mut floors: Vec<(TenantId, Vec<u64>)> = self
+            .groups
             .iter()
             .flat_map(|group| {
                 group
@@ -351,7 +504,13 @@ impl TenantPool {
                     .iter()
                     .map(|(tenant, detector)| (*tenant, detector.shard_visible_floors()))
             })
-            .collect()
+            .collect();
+        floors.extend(
+            self.quiesced_floors
+                .iter()
+                .map(|(tenant, f)| (*tenant, f.clone())),
+        );
+        floors
     }
 
     /// Restores per-tenant visibility floors recorded by
@@ -417,6 +576,8 @@ impl TenantPool {
     /// | `tenant.group<g>.events_total`     | counter | events processed by the group  |
     /// | `tenant.group<g>.detections_total` | counter | detections emitted by the group|
     /// | `tenant.group<g>.tenants`          | gauge   | live tenants in the group      |
+    /// | `tenant.quarantined_total`         | counter | events moved to the dead letter|
+    /// | `tenant.quiesced_total`            | counter | silent-tenant evictions        |
     ///
     /// The pool ticks these itself (not per tenant): tenants inside a group share the
     /// group's handles, so tenant churn never leaks stale gauge series. Attaching is
@@ -435,6 +596,15 @@ impl TenantPool {
             instruments.tenants.set(group.tenants.len() as u64);
             group.instruments = Some(instruments);
         }
+        // Pool-level self-healing counters: `tenant.quarantined_total` /
+        // `tenant.quiesced_total`, caught up to lifetime totals like the group ones.
+        let instruments = PoolInstruments {
+            quarantined_total: registry.counter("tenant.quarantined_total"),
+            quiesced_total: registry.counter("tenant.quiesced_total"),
+        };
+        instruments.quarantined_total.add(self.quarantine_total);
+        instruments.quiesced_total.add(self.quiesce_total);
+        self.instruments = Some(instruments);
     }
 
     /// Per-group breakdown in the shape the benchmark reports embed under `extra`.
@@ -466,6 +636,7 @@ impl TenantPool {
         window: u64,
     ) -> Result<Registration, RegisterError> {
         let id = self.canonical.register(query.clone(), window)?;
+        self.max_window_seen = self.max_window_seen.max(window);
         self.journal
             .push(JournalOp::Register(query.clone(), window));
         let mut visible_from = 0;
@@ -535,6 +706,11 @@ impl TenantPool {
                 }
             }
         }
+        // A tenant coming back from quiescence resumes with the floors it was evicted
+        // with (restore ratchets, so replayed evictions can only tighten them).
+        if let Some(floors) = self.quiesced_floors.remove(&tenant) {
+            detector.restore_shard_visible_floors(&floors);
+        }
         group.tenants.insert(insert_at, (tenant, detector));
         if let Some(instruments) = &group.instruments {
             instruments.tenants.set(group.tenants.len() as u64);
@@ -557,18 +733,66 @@ impl TenantPool {
         &mut self,
         events: &[TenantedEvent],
     ) -> Result<Vec<TenantDetection>, TenantBatchError> {
-        // Log-before-apply, once at the demux front-end.
-        if let Some(durability) = &mut self.durability {
-            durability.record_tenant_events(events);
+        // Failpoint first: an injected fault rejects the whole batch before any
+        // logging or state mutation, so a retrying driver (which advances the fault
+        // schedule) observes the same stream as a fault-free run.
+        if !events.is_empty() {
+            if let Some(fault) = self.faults.as_ref().and_then(|p| p.fires("tenant.batch")) {
+                return Err(TenantBatchError {
+                    emitted: Vec::new(),
+                    index: 0,
+                    tenant: events[0].tenant,
+                    error: GraphError::FaultInjected {
+                        point: fault.point,
+                        occurrence: fault.occurrence,
+                    },
+                });
+            }
         }
         let _batch_span = self.profiler.as_ref().map(|p| p.enter("tenant.batch"));
+
+        // Quiesce silent tenants before this batch extends the clock. Evictions are
+        // logged before they apply, so replay drains the same pending detections at
+        // the same point in the op sequence; the trailing detections the flushes
+        // emit merge into this batch's output.
+        let mut merged = self.quiesce_silent_tenants();
+
+        // Quarantined poison events are dropped at the front door — before the log —
+        // so replay sees exactly the filtered stream the live engines processed.
+        // `kept_indices` maps filtered positions back to the caller's batch for
+        // error attribution.
+        let filtered: Option<(Vec<TenantedEvent>, Vec<usize>)> = if self.quarantined.is_empty() {
+            None
+        } else {
+            let mut kept = Vec::with_capacity(events.len());
+            let mut kept_indices = Vec::with_capacity(events.len());
+            for (index, te) in events.iter().enumerate() {
+                if !self.is_quarantined(te) {
+                    kept.push(*te);
+                    kept_indices.push(index);
+                }
+            }
+            Some((kept, kept_indices))
+        };
+        let batch: &[TenantedEvent] = filtered.as_ref().map_or(events, |(kept, _)| kept);
+
+        // Log-before-apply, once at the demux front-end.
+        if let Some(durability) = &mut self.durability {
+            durability.record_tenant_events(batch);
+        }
         // Demux into per-group workloads, preserving arrival order per tenant and
         // remembering each event's global batch index for error attribution.
         let demux_span = self.profiler.as_ref().map(|p| p.enter("tenant.demux"));
         let mut workloads: Vec<Vec<TenantWorkload>> =
             (0..self.groups.len()).map(|_| Vec::new()).collect();
-        for (index, te) in events.iter().enumerate() {
+        for (index, te) in batch.iter().enumerate() {
+            let global = filtered
+                .as_ref()
+                .map_or(index, |(_, kept_indices)| kept_indices[index]);
             self.ensure_tenant(te.tenant);
+            let last = self.tenant_last_ts.entry(te.tenant).or_insert(te.event.ts);
+            *last = (*last).max(te.event.ts);
+            self.max_seen_ts = self.max_seen_ts.max(te.event.ts);
             let workload = &mut workloads[self.router.group_of(te.tenant)];
             let entry = match workload.iter_mut().find(|(t, _, _)| *t == te.tenant) {
                 Some(entry) => entry,
@@ -578,7 +802,7 @@ impl TenantPool {
                 }
             };
             entry.1.push(te.event);
-            entry.2.push(index);
+            entry.2.push(global);
         }
         drop(demux_span);
 
@@ -606,7 +830,6 @@ impl TenantPool {
                 })
             };
 
-        let mut merged = Vec::new();
         let mut failure: Option<(usize, TenantId, GraphError)> = None;
         for (detections, group_failure) in results {
             merged.extend(detections);
@@ -620,12 +843,133 @@ impl TenantPool {
         self.tick_instruments();
         match failure {
             None => Ok(merged),
-            Some((index, tenant, error)) => Err(TenantBatchError {
-                emitted: merged,
-                index,
+            Some((index, tenant, error)) => {
+                self.note_poison_failure(tenant, events[index].event, &error);
+                Err(TenantBatchError {
+                    emitted: merged,
+                    index,
+                    tenant,
+                    error,
+                })
+            }
+        }
+    }
+
+    /// Evicts every materialised tenant whose last event has fallen outside the
+    /// effective quiescence horizon, logging each eviction before applying it.
+    /// Returns the evicted tenants' trailing detections, unsorted.
+    fn quiesce_silent_tenants(&mut self) -> Vec<TenantDetection> {
+        let Some(policy) = self.quiescence else {
+            return Vec::new();
+        };
+        // Never evict inside the replay horizon (2 × largest window): a pending
+        // match there could still complete, and cutting it would change detections.
+        let effective = policy.horizon.max(self.max_window_seen.saturating_mul(2));
+        let cutoff = self.max_seen_ts.saturating_sub(effective);
+        let mut stale: Vec<(TenantId, u64, usize)> = Vec::new();
+        for (group_idx, group) in self.groups.iter().enumerate() {
+            for (tenant, _) in &group.tenants {
+                let last = self.tenant_last_ts.get(tenant).copied().unwrap_or(0);
+                if last < cutoff {
+                    stale.push((*tenant, last, group_idx));
+                }
+            }
+        }
+        let mut merged = Vec::new();
+        for (tenant, last_ts, group) in stale {
+            if let Some(durability) = &mut self.durability {
+                durability.record_quiesce(tenant);
+            }
+            merged.extend(self.quiesce_tenant(tenant));
+            self.quiesce_total += 1;
+            if let Some(instruments) = &self.instruments {
+                instruments.quiesced_total.inc();
+            }
+            if let Some(sink) = &self.sink {
+                sink.emit(&TraceEvent::TenantQuiesced {
+                    tenant: tenant.0,
+                    group,
+                    last_ts,
+                    horizon: effective,
+                });
+            }
+        }
+        merged
+    }
+
+    /// Flushes and evicts `tenant`, saving its visibility floors for the lazy
+    /// journal-replay recreation on its next event (see the module docs). Returns
+    /// the tenant's trailing detections; a tenant that is not materialised is a
+    /// no-op. Public because crash recovery replays logged `Quiesce` records through
+    /// this method (discarding the detections — the live run already emitted them).
+    pub fn quiesce_tenant(&mut self, tenant: TenantId) -> Vec<TenantDetection> {
+        let group = &mut self.groups[self.router.group_of(tenant)];
+        let Ok(idx) = group.tenants.binary_search_by_key(&tenant, |(t, _)| *t) else {
+            return Vec::new();
+        };
+        let (_, mut detector) = group.tenants.remove(idx);
+        let out = detector.flush();
+        group.detections += out.len() as u64;
+        self.quiesced_floors
+            .insert(tenant, detector.shard_visible_floors());
+        self.failing.remove(&tenant);
+        if let Some(instruments) = &group.instruments {
+            instruments.tenants.set(group.tenants.len() as u64);
+        }
+        out.into_iter()
+            .map(|d| TenantDetection {
                 tenant,
-                error,
-            }),
+                query: d.query,
+                start_ts: d.start_ts,
+                end_ts: d.end_ts,
+            })
+            .collect()
+    }
+
+    /// Whether `te` matches a dead-letter entry (same tenant, identical event).
+    fn is_quarantined(&self, te: &TenantedEvent) -> bool {
+        self.quarantined
+            .iter()
+            .any(|q| q.tenant == te.tenant && q.event == te.event)
+    }
+
+    /// Tracks a batch rejection for poison detection: the same tenant rejecting the
+    /// identical event `max_failures` times in a row quarantines it. Injected faults
+    /// are harness rejections, not data, and are never counted.
+    fn note_poison_failure(&mut self, tenant: TenantId, event: StreamEvent, error: &GraphError) {
+        let Some(policy) = self.poison else {
+            return;
+        };
+        if matches!(error, GraphError::FaultInjected { .. }) {
+            return;
+        }
+        let failures = match self.failing.get(&tenant) {
+            Some((last, count)) if *last == event => count + 1,
+            _ => 1,
+        };
+        if failures < policy.max_failures.max(1) {
+            self.failing.insert(tenant, (event, failures));
+            return;
+        }
+        self.failing.remove(&tenant);
+        self.quarantined.push_back(QuarantinedEvent {
+            tenant,
+            event,
+            failures,
+        });
+        while self.quarantined.len() > policy.capacity.max(1) {
+            self.quarantined.pop_front();
+        }
+        self.quarantine_total += 1;
+        if let Some(instruments) = &self.instruments {
+            instruments.quarantined_total.inc();
+        }
+        if let Some(sink) = &self.sink {
+            sink.emit(&TraceEvent::PoisonQuarantined {
+                tenant: tenant.0,
+                ts: event.ts,
+                quarantined: self.quarantined.len() as u64,
+            });
         }
     }
 
@@ -976,6 +1320,160 @@ mod tests {
         assert_eq!(out.len(), 3);
         pool.disable_cost_attribution();
         assert!(pool.query_cost_report().is_none());
+    }
+
+    #[test]
+    fn tenant_batch_failpoint_is_a_clean_typed_rejection() {
+        let mut pool = TenantPool::new(2, 1);
+        let q = pool.register(edge_query(), 5).unwrap().id;
+        let plan = FaultPlan::new(7);
+        plan.arm("tenant.batch", faults::FaultSchedule::OneShotAt(1));
+        pool.set_fault_plan(Some(plan));
+        let batch = [te(0, ev(1, 0, 1, 0, 1)), te(1, ev(1, 0, 1, 0, 1))];
+        let err = pool.on_batch(&batch).unwrap_err();
+        assert!(err.emitted.is_empty(), "rejected before any processing");
+        assert_eq!(
+            err.tenant,
+            TenantId(0),
+            "attributed to the batch's first event"
+        );
+        assert!(matches!(
+            err.error,
+            GraphError::FaultInjected { ref point, occurrence: 1 } if point == "tenant.batch"
+        ));
+        assert_eq!(pool.tenant_count(), 0, "nothing was mutated");
+        // Re-delivery advances the schedule and matches a fault-free run exactly.
+        let out = pool.on_batch(&batch).unwrap();
+        assert_eq!(out[0].query, q);
+        let mut plain = TenantPool::new(2, 1);
+        plain.register(edge_query(), 5).unwrap();
+        assert_eq!(out, plain.on_batch(&batch).unwrap());
+    }
+
+    #[test]
+    fn poison_events_are_quarantined_after_repeated_identical_rejections() {
+        let mut pool = TenantPool::new(1, 1);
+        pool.register(edge_query(), 5).unwrap();
+        pool.set_poison_policy(Some(PoisonPolicy {
+            max_failures: 2,
+            capacity: 4,
+        }));
+        let sink = std::sync::Arc::new(obs::CollectingSink::new());
+        pool.set_trace_sink(Some(SharedSink::from(sink.clone())));
+        let registry = MetricsRegistry::new();
+        pool.instrument(&registry);
+        pool.on_batch(&[te(0, ev(10, 0, 1, 0, 1))]).unwrap();
+        // ts 4 goes backwards for tenant 0: rejected identically on every delivery,
+        // and it shadows the rest of the tenant's sub-stream each time.
+        let batch = [te(0, ev(4, 2, 3, 0, 1)), te(0, ev(11, 0, 1, 0, 1))];
+        assert!(pool.on_batch(&batch).is_err());
+        assert!(
+            pool.quarantined().is_empty(),
+            "one failure is not poison yet"
+        );
+        assert!(pool.on_batch(&batch).is_err());
+        let held = pool.quarantined();
+        assert_eq!(held.len(), 1);
+        assert_eq!(held[0].tenant, TenantId(0));
+        assert_eq!(held[0].event.ts, 4);
+        assert_eq!(held[0].failures, 2);
+        // Third delivery: the poison event is dropped at the front door and the
+        // tenant's remaining sub-stream finally processes.
+        let out = pool.on_batch(&batch).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].end_ts, 11);
+        assert!(sink.events().iter().any(|e| matches!(
+            e,
+            TraceEvent::PoisonQuarantined {
+                tenant: 0,
+                ts: 4,
+                quarantined: 1
+            }
+        )));
+        assert_eq!(
+            registry.snapshot().counter("tenant.quarantined_total"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn silent_tenants_are_quiesced_flushed_and_recreated() {
+        let static_q = || {
+            CompiledQuery::Static(tgminer::baselines::gspan::StaticPattern {
+                labels: vec![l(0), l(1)],
+                edges: vec![(0, 1)],
+            })
+        };
+        let batches: Vec<Vec<TenantedEvent>> = vec![
+            vec![te(1, ev(1, 0, 1, 0, 1))],
+            vec![te(2, ev(50, 0, 1, 0, 1))],
+            vec![te(2, ev(51, 2, 3, 0, 1))],
+            vec![te(1, ev(60, 4, 5, 0, 1))],
+        ];
+        let mut pool = TenantPool::new(1, 1);
+        pool.register(static_q(), 5).unwrap();
+        pool.set_quiescence(Some(QuiescencePolicy { horizon: 10 }));
+        let sink = std::sync::Arc::new(obs::CollectingSink::new());
+        pool.set_trace_sink(Some(SharedSink::from(sink.clone())));
+        let registry = MetricsRegistry::new();
+        pool.instrument(&registry);
+        let mut all = Vec::new();
+        for batch in &batches {
+            all.extend(pool.on_batch(batch).unwrap());
+        }
+        // Tenant 1 fell outside the horizon once tenant 2 advanced the clock: it was
+        // evicted at the start of the third batch, its pending static detection
+        // flushed into that batch's output rather than lost.
+        assert!(sink.events().iter().any(|e| matches!(
+            e,
+            TraceEvent::TenantQuiesced {
+                tenant: 1,
+                last_ts: 1,
+                horizon: 10,
+                ..
+            }
+        )));
+        assert_eq!(
+            registry.snapshot().counter("tenant.quiesced_total"),
+            Some(1)
+        );
+        assert_eq!(
+            pool.tenant_count(),
+            2,
+            "tenant 1 re-materialised on its ts-60 event"
+        );
+        all.extend(pool.flush());
+        // Union parity: a pool that never quiesces reports the same detections.
+        let mut plain = TenantPool::new(1, 1);
+        plain.register(static_q(), 5).unwrap();
+        let mut expected = Vec::new();
+        for batch in &batches {
+            expected.extend(plain.on_batch(batch).unwrap());
+        }
+        expected.extend(plain.flush());
+        all.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn quiesced_floors_survive_for_snapshots_until_recreation() {
+        let mut pool = TenantPool::new(1, 1);
+        pool.register(edge_query(), 5).unwrap();
+        pool.set_quiescence(Some(QuiescencePolicy { horizon: 10 }));
+        pool.on_batch(&[te(1, ev(1, 0, 1, 0, 1))]).unwrap();
+        pool.on_batch(&[te(2, ev(100, 0, 1, 0, 1))]).unwrap();
+        // Sweep runs at batch start: tenant 1 is evicted on the *next* batch.
+        pool.on_batch(&[te(2, ev(101, 0, 1, 0, 1))]).unwrap();
+        assert_eq!(pool.tenant_count(), 1);
+        let floors = pool.tenant_visible_floors();
+        assert!(
+            floors.iter().any(|(t, _)| *t == TenantId(1)),
+            "evicted tenant's floors stay visible to snapshots"
+        );
+        // Recreation consumes the saved floors.
+        pool.on_batch(&[te(1, ev(120, 0, 1, 0, 1))]).unwrap();
+        assert_eq!(pool.tenant_count(), 2);
     }
 
     #[test]

@@ -41,6 +41,15 @@ pub enum GraphError {
         /// The conflicting label from the new event (as a raw id).
         new: u32,
     },
+    /// An armed fault-injection failpoint fired: the batch was rejected cleanly,
+    /// before any durability logging or state mutation, so a retrying driver (which
+    /// advances the fault schedule) observes the same stream as a fault-free run.
+    FaultInjected {
+        /// The failpoint that fired (e.g. `shard.worker`, `tenant.batch`).
+        point: String,
+        /// Which firing this is for the point (1-based).
+        occurrence: u64,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -72,6 +81,9 @@ impl fmt::Display for GraphError {
                 f,
                 "stream event relabels node {node}: announced as L{existing}, now L{new}"
             ),
+            GraphError::FaultInjected { point, occurrence } => {
+                write!(f, "injected fault at {point} (occurrence {occurrence})")
+            }
         }
     }
 }

@@ -15,6 +15,9 @@
 //! * [`durable`] — write-ahead logging and snapshots for the detection engines:
 //!   crash recovery rebuilds a detector whose future detections are identical to an
 //!   uninterrupted run.
+//! * [`faults`] — the deterministic fault-injection harness: seeded plans of armed
+//!   failpoints consulted by the durability and ingest layers, so chaos tests replay
+//!   the same faults every run.
 //! * [`obs`] — zero-dependency observability: metrics registry (counters, gauges,
 //!   log-scale histograms), structured trace sinks, and the versioned benchmark
 //!   report schema.
@@ -22,6 +25,7 @@
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
 
 pub use durable;
+pub use faults;
 pub use obs;
 pub use query;
 pub use stream;

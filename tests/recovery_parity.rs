@@ -63,6 +63,7 @@ fn small_wal() -> WalConfig {
     // Tiny segments so every multi-batch test crosses rotation boundaries too.
     WalConfig {
         max_segment_bytes: 512,
+        ..WalConfig::default()
     }
 }
 
